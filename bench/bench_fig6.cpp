@@ -1,0 +1,212 @@
+//===- bench/bench_fig6.cpp - Reproduce paper Figure 6 --------------------===//
+//
+// Figure 6: "Effect of various performance tradeoffs on selected
+// micro-benchmarks" — implementation variants of the thin lock itself:
+//
+//   NOP       no synchronization at all (speed of light)
+//   Inline    fast paths fully inlined (TL_ALWAYS_INLINE lock/unlock)
+//   FnCall    fast paths behind an out-of-line call
+//   ThinLock  the shipping config: dynamic CPU-type test per operation
+//             (measured with the flag set to uniprocessor and to MP)
+//   MP Sync   unconditional fences (isync/sync analogue: acquire fence on
+//             lock, seq_cst fence on unlock)
+//   UnlkC&S   unlock via compare-and-swap instead of a plain store
+//   IBM112    the hot-lock baseline, as Figure 6's reference
+//
+// Benchmarks: Sync, NestedSync, MixedSync (three nested locks per
+// iteration), CallSync.  Expected shape: NOP < Inline <= FnCall ~
+// ThinLock(UP) < ThinLock(MP) ~ MP Sync < UnlkC&S, all well under IBM112.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/HotLocks.h"
+#include "core/ThinLock.h"
+#include "heap/Heap.h"
+#include "threads/ThreadRegistry.h"
+#include "workload/MicroBench.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace thinlocks;
+using namespace thinlocks::workload;
+
+namespace {
+
+constexpr uint64_t Inner = 4096;
+
+enum class Kernel { Sync, NestedSync, MixedSync, CallSync };
+
+template <typename Protocol>
+uint64_t runKernel(Kernel K, Protocol &P, Object *Obj,
+                   const ThreadContext &T) {
+  switch (K) {
+  case Kernel::Sync:
+    return runNativeSync(P, Obj, T, Inner);
+  case Kernel::NestedSync:
+    return runNativeNestedSync(P, Obj, T, Inner);
+  case Kernel::MixedSync:
+    return runNativeMixedSync(P, Obj, T, Inner);
+  case Kernel::CallSync:
+    return runNativeCallSync(P, Obj, T, Inner);
+  }
+  return 0;
+}
+
+const char *kernelName(Kernel K) {
+  switch (K) {
+  case Kernel::Sync:
+    return "Sync";
+  case Kernel::NestedSync:
+    return "NestedSync";
+  case Kernel::MixedSync:
+    return "MixedSync";
+  case Kernel::CallSync:
+    return "CallSync";
+  }
+  return "?";
+}
+
+/// NOP: the loop bodies with all synchronization removed.
+void Fig6_NOP(benchmark::State &State) {
+  Kernel K = static_cast<Kernel>(State.range(0));
+  for (auto _ : State) {
+    if (K == Kernel::CallSync)
+      benchmark::DoNotOptimize(runNativeCall(Inner));
+    else
+      benchmark::DoNotOptimize(runNativeNoSync(Inner));
+  }
+  State.SetItemsProcessed(State.iterations() * Inner);
+  State.SetLabel(std::string("NOP/") + kernelName(K));
+}
+
+template <typename Policy, bool DynamicFlagMp = true>
+void Fig6_Variant(benchmark::State &State, const char *VariantName) {
+  bool SavedFlag = MachineIsMultiprocessor.load();
+  MachineIsMultiprocessor.store(DynamicFlagMp);
+
+  Heap TheHeap;
+  ThreadRegistry Registry;
+  MonitorTable Monitors;
+  ThinLockImpl<Policy> Protocol(Monitors);
+  ScopedThreadAttachment Main(Registry);
+  Object *Obj = TheHeap.allocate(TheHeap.classes().registerClass("B", 0));
+
+  Kernel K = static_cast<Kernel>(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runKernel(K, Protocol, Obj, Main.context()));
+  State.SetItemsProcessed(State.iterations() * Inner);
+  State.SetLabel(std::string(VariantName) + "/" + kernelName(K));
+
+  MachineIsMultiprocessor.store(SavedFlag);
+}
+
+void Fig6_Inline(benchmark::State &State) {
+  // "Inline" = best case: uniprocessor orders, fully inlined fast path.
+  Fig6_Variant<UniprocessorPolicy>(State, "Inline");
+}
+
+/// FnCall: same algorithm but fast paths behind TL_NOINLINE calls.
+void Fig6_FnCall(benchmark::State &State) {
+  Heap TheHeap;
+  ThreadRegistry Registry;
+  MonitorTable Monitors;
+  ThinLockUP Protocol(Monitors);
+  ScopedThreadAttachment Main(Registry);
+  Object *Obj = TheHeap.allocate(TheHeap.classes().registerClass("B", 0));
+  Kernel K = static_cast<Kernel>(State.range(0));
+
+  auto syncLoop = [&](uint64_t Iters) {
+    uint64_t Counter = 0;
+    for (uint64_t I = 0; I < Iters; ++I) {
+      Protocol.lockOutOfLine(Obj, Main.context());
+      ++Counter;
+      Protocol.unlockOutOfLine(Obj, Main.context());
+    }
+    return consumeValue(Counter);
+  };
+  auto nestedLoop = [&](uint64_t Iters) {
+    Protocol.lockOutOfLine(Obj, Main.context());
+    uint64_t Counter = syncLoop(Iters);
+    Protocol.unlockOutOfLine(Obj, Main.context());
+    return Counter;
+  };
+  auto mixedLoop = [&](uint64_t Iters) {
+    uint64_t Counter = 0;
+    for (uint64_t I = 0; I < Iters; ++I) {
+      Protocol.lockOutOfLine(Obj, Main.context());
+      Protocol.lockOutOfLine(Obj, Main.context());
+      Protocol.lockOutOfLine(Obj, Main.context());
+      ++Counter;
+      Protocol.unlockOutOfLine(Obj, Main.context());
+      Protocol.unlockOutOfLine(Obj, Main.context());
+      Protocol.unlockOutOfLine(Obj, Main.context());
+    }
+    return consumeValue(Counter);
+  };
+
+  for (auto _ : State) {
+    switch (K) {
+    case Kernel::Sync:
+    case Kernel::CallSync: // FnCall *is* the call variant.
+      benchmark::DoNotOptimize(syncLoop(Inner));
+      break;
+    case Kernel::NestedSync:
+      benchmark::DoNotOptimize(nestedLoop(Inner));
+      break;
+    case Kernel::MixedSync:
+      benchmark::DoNotOptimize(mixedLoop(Inner));
+      break;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Inner);
+  State.SetLabel(std::string("FnCall/") + kernelName(K));
+}
+
+void Fig6_ThinLockDynamicUP(benchmark::State &State) {
+  // Shipping configuration on a uniprocessor: flag checked per op, no
+  // fences executed.
+  Fig6_Variant<DynamicPolicy, /*DynamicFlagMp=*/false>(State,
+                                                       "ThinLock(UP)");
+}
+
+void Fig6_ThinLockDynamicMP(benchmark::State &State) {
+  Fig6_Variant<DynamicPolicy, /*DynamicFlagMp=*/true>(State,
+                                                      "ThinLock(MP)");
+}
+
+void Fig6_MPSync(benchmark::State &State) {
+  Fig6_Variant<MultiprocessorPolicy>(State, "MPSync");
+}
+
+void Fig6_UnlkCAS(benchmark::State &State) {
+  Fig6_Variant<CasUnlockPolicy>(State, "UnlkC&S");
+}
+
+void Fig6_IBM112(benchmark::State &State) {
+  Heap TheHeap;
+  ThreadRegistry Registry;
+  HotLocks Protocol(32, 4, 128);
+  ScopedThreadAttachment Main(Registry);
+  Object *Obj = TheHeap.allocate(TheHeap.classes().registerClass("B", 0));
+  Kernel K = static_cast<Kernel>(State.range(0));
+  // Warm up so the object is promoted to a hot lock (steady state).
+  runNativeSync(Protocol, Obj, Main.context(), 16);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runKernel(K, Protocol, Obj, Main.context()));
+  State.SetItemsProcessed(State.iterations() * Inner);
+  State.SetLabel(std::string("IBM112/") + kernelName(K));
+}
+
+#define FIG6_ARGS ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+BENCHMARK(Fig6_NOP) FIG6_ARGS;
+BENCHMARK(Fig6_Inline) FIG6_ARGS;
+BENCHMARK(Fig6_FnCall) FIG6_ARGS;
+BENCHMARK(Fig6_ThinLockDynamicUP) FIG6_ARGS;
+BENCHMARK(Fig6_ThinLockDynamicMP) FIG6_ARGS;
+BENCHMARK(Fig6_MPSync) FIG6_ARGS;
+BENCHMARK(Fig6_UnlkCAS) FIG6_ARGS;
+BENCHMARK(Fig6_IBM112) FIG6_ARGS;
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+//===- examples/calculator.cpp - Compile-and-run expressions --------------===//
+//
+// The microjvm as a tiny language runtime: compiles an arithmetic
+// expression to bytecode (with constant folding), shows the listing,
+// verifies it statically, and runs it.
+//
+// Usage:  ./build/examples/calculator "x * (x + 1) / 2 - y" x=10 y=5
+//         ./build/examples/calculator            # runs a demo expression
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Disassembler.h"
+#include "vm/ExprCompiler.h"
+#include "vm/Verifier.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace thinlocks;
+using namespace thinlocks::vm;
+
+int main(int Argc, char **Argv) {
+  std::string Source =
+      Argc > 1 ? Argv[1] : "2 + 3 * 4 - x * (y - 1) / 2";
+  std::vector<std::string> Params;
+  std::vector<Value> Args;
+  for (int I = 2; I < Argc; ++I) {
+    const char *Eq = std::strchr(Argv[I], '=');
+    if (!Eq) {
+      std::fprintf(stderr, "argument '%s' is not name=value\n", Argv[I]);
+      return 1;
+    }
+    Params.emplace_back(Argv[I], Eq - Argv[I]);
+    Args.push_back(Value::makeInt(std::atoi(Eq + 1)));
+  }
+  if (Argc <= 1) {
+    Params = {"x", "y"};
+    Args = {Value::makeInt(8), Value::makeInt(5)};
+  }
+
+  VM Vm;
+  Klass &K = Vm.defineClass("calc/Expr", {});
+  ExprCompiler Compiler(Vm, K);
+
+  ExprCompiler::Result R = Compiler.compile(Source, Params);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: %s\n  %s\n  %*s^\n", R.Error.c_str(),
+                 Source.c_str(), static_cast<int>(R.ErrorPos), "");
+    return 1;
+  }
+
+  std::printf("compiled \"%s\":\n%s\n", Source.c_str(),
+              disassemble(*R.M, &Vm).c_str());
+
+  if (auto Err = Verifier(Vm).verify(*R.M)) {
+    std::fprintf(stderr, "verifier rejected output at pc %u: %s\n",
+                 Err->Pc, Err->Message.c_str());
+    return 1;
+  }
+  std::printf("verifier: ok\n\n");
+
+  ScopedThreadAttachment Main(Vm.threads(), "calc");
+  RunResult Run = Vm.call(*R.M, Args, Main.context());
+  if (!Run.ok()) {
+    std::fprintf(stderr, "execution trapped: %s\n",
+                 trapName(Run.TrapKind));
+    return 1;
+  }
+  for (size_t I = 0; I < Params.size(); ++I)
+    std::printf("  %s = %d\n", Params[I].c_str(), Args[I].asInt());
+  std::printf("  result = %d\n", Run.Result.asInt());
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- baselines/EagerMonitor.cpp - Monitor-per-object strawman -----------===//
+
+#include "baselines/EagerMonitor.h"
+
+#include <cassert>
+
+using namespace thinlocks;
+
+EagerMonitor::EagerMonitor() : Shards(NumShards) {}
+
+EagerMonitor::Shard &EagerMonitor::shardFor(const Object *Obj) const {
+  // Mix the address; objects are 16-byte aligned, so drop the low bits.
+  uintptr_t Address = reinterpret_cast<uintptr_t>(Obj);
+  return Shards[(Address >> 4) * 0x9e3779b97f4a7c15ull >> 60];
+}
+
+FatLock *EagerMonitor::resolve(const Object *Obj, bool CreateIfMissing) {
+  Shard &S = shardFor(Obj);
+  std::lock_guard<std::mutex> Guard(S.Mutex);
+  auto It = S.Map.find(Obj);
+  if (It != S.Map.end())
+    return It->second.get();
+  if (!CreateIfMissing)
+    return nullptr;
+  auto Monitor = std::make_unique<FatLock>();
+  FatLock *Raw = Monitor.get();
+  S.Map.emplace(Obj, std::move(Monitor));
+  return Raw;
+}
+
+void EagerMonitor::lock(Object *Obj, const ThreadContext &Thread) {
+  resolve(Obj, /*CreateIfMissing=*/true)->lock(Thread);
+}
+
+void EagerMonitor::unlock(Object *Obj, const ThreadContext &Thread) {
+  [[maybe_unused]] bool Ok = unlockChecked(Obj, Thread);
+  assert(Ok && "unlock of a monitor the thread does not own");
+}
+
+bool EagerMonitor::unlockChecked(Object *Obj, const ThreadContext &Thread) {
+  FatLock *Monitor = resolve(Obj, /*CreateIfMissing=*/false);
+  return Monitor && Monitor->unlockChecked(Thread);
+}
+
+bool EagerMonitor::holdsLock(Object *Obj,
+                             const ThreadContext &Thread) const {
+  FatLock *Monitor =
+      const_cast<EagerMonitor *>(this)->resolve(Obj,
+                                                /*CreateIfMissing=*/false);
+  return Monitor && Monitor->heldBy(Thread);
+}
+
+uint32_t EagerMonitor::lockDepth(Object *Obj,
+                                 const ThreadContext &Thread) const {
+  FatLock *Monitor =
+      const_cast<EagerMonitor *>(this)->resolve(Obj,
+                                                /*CreateIfMissing=*/false);
+  if (!Monitor || !Monitor->heldBy(Thread))
+    return 0;
+  return Monitor->holdCount();
+}
+
+WaitStatus EagerMonitor::wait(Object *Obj, const ThreadContext &Thread,
+                              int64_t TimeoutNanos) {
+  FatLock *Monitor = resolve(Obj, /*CreateIfMissing=*/false);
+  if (!Monitor || !Monitor->heldBy(Thread))
+    return WaitStatus::NotOwner;
+  return Monitor->wait(Thread, TimeoutNanos) ==
+                 FatLock::WaitResult::Notified
+             ? WaitStatus::Notified
+             : WaitStatus::TimedOut;
+}
+
+NotifyStatus EagerMonitor::notify(Object *Obj, const ThreadContext &Thread) {
+  FatLock *Monitor = resolve(Obj, /*CreateIfMissing=*/false);
+  if (!Monitor || !Monitor->heldBy(Thread))
+    return NotifyStatus::NotOwner;
+  Monitor->notify(Thread);
+  return NotifyStatus::Ok;
+}
+
+NotifyStatus EagerMonitor::notifyAll(Object *Obj,
+                                     const ThreadContext &Thread) {
+  FatLock *Monitor = resolve(Obj, /*CreateIfMissing=*/false);
+  if (!Monitor || !Monitor->heldBy(Thread))
+    return NotifyStatus::NotOwner;
+  Monitor->notifyAll(Thread);
+  return NotifyStatus::Ok;
+}
+
+uint64_t EagerMonitor::monitorCount() const {
+  uint64_t Count = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S.Mutex);
+    Count += S.Map.size();
+  }
+  return Count;
+}
+
+uint64_t EagerMonitor::approximateMonitorBytes() const {
+  // FatLock itself plus one hash-map node (pointer pair + bucket link).
+  return monitorCount() *
+         (sizeof(FatLock) + sizeof(void *) * 2 + sizeof(const Object *));
+}

@@ -1,0 +1,83 @@
+//===- baselines/EagerMonitor.h - Monitor-per-object strawman --*- C++ -*-===//
+///
+/// \file
+/// The design the paper's introduction rules out: "One way to speed up
+/// synchronization is to dedicate a portion of each object as a lock.
+/// Unfortunately ... adding one or more synchronization words to each
+/// object is an unacceptable space-time tradeoff" (§1).
+///
+/// This baseline gives every synchronized object its own permanent
+/// heavy-weight monitor on first use, held in a sharded side table (the
+/// object layout itself cannot grow — that is the constraint).  It is
+/// reasonably fast (no global cache lock, no reclamation sweeps) but its
+/// space grows with the number of objects ever synchronized, never
+/// shrinking — the axis the space-accounting benchmark (bench_space)
+/// compares against thin locks, which need a monitor only after
+/// inflation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_BASELINES_EAGERMONITOR_H
+#define THINLOCKS_BASELINES_EAGERMONITOR_H
+
+#include "core/LockProtocol.h"
+#include "fatlock/FatLock.h"
+#include "heap/Object.h"
+#include "threads/ThreadContext.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace thinlocks {
+
+/// Monitor-per-object baseline with a sharded object->monitor side table.
+class EagerMonitor {
+public:
+  static constexpr size_t NumShards = 16;
+
+  EagerMonitor();
+
+  EagerMonitor(const EagerMonitor &) = delete;
+  EagerMonitor &operator=(const EagerMonitor &) = delete;
+
+  static const char *protocolName() { return "EagerMonitor"; }
+
+  void lock(Object *Obj, const ThreadContext &Thread);
+  void unlock(Object *Obj, const ThreadContext &Thread);
+  bool unlockChecked(Object *Obj, const ThreadContext &Thread);
+  bool holdsLock(Object *Obj, const ThreadContext &Thread) const;
+  uint32_t lockDepth(Object *Obj, const ThreadContext &Thread) const;
+  WaitStatus wait(Object *Obj, const ThreadContext &Thread,
+                  int64_t TimeoutNanos = -1);
+  NotifyStatus notify(Object *Obj, const ThreadContext &Thread);
+  NotifyStatus notifyAll(Object *Obj, const ThreadContext &Thread);
+
+  /// \returns how many monitors exist (== objects ever synchronized).
+  uint64_t monitorCount() const;
+
+  /// \returns a lower bound on the side-table bytes consumed, for the
+  /// space comparison in bench_space.
+  uint64_t approximateMonitorBytes() const;
+
+private:
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::unordered_map<const Object *, std::unique_ptr<FatLock>> Map;
+  };
+
+  Shard &shardFor(const Object *Obj) const;
+  /// Finds (creating if asked) the object's monitor.
+  FatLock *resolve(const Object *Obj, bool CreateIfMissing);
+
+  mutable std::vector<Shard> Shards;
+};
+
+static_assert(SyncProtocol<EagerMonitor>,
+              "EagerMonitor must satisfy the protocol concept");
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_BASELINES_EAGERMONITOR_H

@@ -1,0 +1,146 @@
+//===- baselines/HotLocks.h - IBM JDK 1.1.2 hot locks model ----*- C++ -*-===//
+///
+/// \file
+/// Model of the IBM 1.1.2 JDK baseline ("IBM112", paper §3): a monitor
+/// cache augmented with a small number (32) of pre-allocated "hot locks".
+/// "The system begins by using the default fat locks, slightly modified
+/// to record locking frequency.  When a fat lock is detected to be hot, a
+/// pointer to the hot lock is placed in the header of the object...  the
+/// displaced header information is moved into the hot lock structure.
+/// One bit in the header word indicates whether the word is a hot lock
+/// pointer or regular header data."
+///
+/// Our header words are 32 bits, so instead of a raw pointer we install a
+/// tagged hot-lock *id* — mechanically identical (one bit distinguishes,
+/// one indirection resolves) and faithful in cost.
+///
+/// The strength: once hot, an object's monitor operations skip the global
+/// cache lock and hash lookup entirely.  The Achilles heel (§3.3): only
+/// NumHotLocks objects can ever be hot, so workloads with larger locking
+/// working sets fall back to the thrash-prone cache — the IBM112 cliff at
+/// n > 32 in Figure 4 and its macro-benchmark slowdowns in Figure 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_BASELINES_HOTLOCKS_H
+#define THINLOCKS_BASELINES_HOTLOCKS_H
+
+#include "core/LockProtocol.h"
+#include "fatlock/FatLock.h"
+#include "heap/Object.h"
+#include "support/StatsCounter.h"
+#include "threads/ThreadContext.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace thinlocks {
+
+/// Event counters for the hot-lock baseline.
+struct HotLocksStats {
+  uint64_t HotPathOps = 0;
+  uint64_t CachePathOps = 0;
+  uint64_t Promotions = 0;
+  uint64_t Sweeps = 0;
+  uint64_t SweepScannedEntries = 0;
+};
+
+/// Monitor cache + bounded hot-lock table baseline.
+class HotLocks {
+public:
+  /// \param NumHotLocks hot-lock table size (the paper's system used 32).
+  /// \param PromotionThreshold uses of one mapping after which the object
+  /// is promoted to a hot lock (when a slot is free and the monitor is
+  /// momentarily idle).
+  /// \param PoolSize fallback monitor-cache pool size.
+  explicit HotLocks(size_t NumHotLocks = 32, uint64_t PromotionThreshold = 4,
+                    size_t PoolSize = 128);
+  ~HotLocks();
+
+  HotLocks(const HotLocks &) = delete;
+  HotLocks &operator=(const HotLocks &) = delete;
+
+  static const char *protocolName() { return "IBM112"; }
+
+  void lock(Object *Obj, const ThreadContext &Thread);
+  void unlock(Object *Obj, const ThreadContext &Thread);
+  bool unlockChecked(Object *Obj, const ThreadContext &Thread);
+  bool holdsLock(Object *Obj, const ThreadContext &Thread) const;
+  uint32_t lockDepth(Object *Obj, const ThreadContext &Thread) const;
+  WaitStatus wait(Object *Obj, const ThreadContext &Thread,
+                  int64_t TimeoutNanos = -1);
+  NotifyStatus notify(Object *Obj, const ThreadContext &Thread);
+  NotifyStatus notifyAll(Object *Obj, const ThreadContext &Thread);
+
+  /// \returns true if \p Obj has been promoted to a hot lock.
+  bool isHot(const Object *Obj) const;
+
+  /// \returns the number of hot-lock slots still unassigned.
+  size_t freeHotSlots() const;
+
+  /// \returns the header word displaced when \p Obj went hot; only
+  /// meaningful when isHot(Obj).
+  uint32_t displacedHeader(const Object *Obj) const;
+
+  HotLocksStats stats() const;
+
+private:
+  /// Bit 31 of the header word: set = the word holds a hot-lock id.
+  static constexpr uint32_t HotFlagBit = 1u << 31;
+  static constexpr uint32_t HotIdShift = 8;
+  static constexpr uint32_t HeaderByteMask = 0xFFu;
+
+  struct HotSlot {
+    FatLock Lock;
+    const Object *Key = nullptr;
+    uint32_t DisplacedHeader = 0;
+  };
+
+  struct CacheEntry {
+    FatLock Lock;
+    const Object *Key = nullptr;
+    uint32_t Pins = 0;
+    uint64_t UseCount = 0;
+  };
+
+  static bool isHotWord(uint32_t Word) { return (Word & HotFlagBit) != 0; }
+  static uint32_t hotIdOf(uint32_t Word) {
+    return ((Word & ~HotFlagBit) >> HotIdShift) - 1;
+  }
+  static uint32_t makeHotWord(uint32_t Id, uint32_t OriginalWord) {
+    return HotFlagBit | ((Id + 1) << HotIdShift) |
+           (OriginalWord & HeaderByteMask);
+  }
+
+  /// Resolves \p Obj to either a hot slot (no cache lock needed) or a
+  /// pinned cache entry; exactly one of the outputs is non-null.  May
+  /// promote the object as a side effect when \p AllowPromotion.
+  void resolve(Object *Obj, bool CreateIfMissing, bool AllowPromotion,
+               HotSlot *&Hot, CacheEntry *&Entry);
+  void unpin(CacheEntry *Entry);
+  size_t sweepLocked();
+  static bool isIdle(const CacheEntry &Entry);
+
+  mutable std::mutex CacheMutex;
+  std::vector<std::unique_ptr<HotSlot>> HotTable;
+  size_t NextHotSlot = 0;
+  uint64_t PromotionThreshold;
+  std::unordered_map<const Object *, CacheEntry *> Map;
+  std::vector<std::unique_ptr<CacheEntry>> Pool;
+  std::vector<CacheEntry *> FreeList;
+  // Guarded by CacheMutex.
+  HotLocksStats Counters;
+  // Bumped outside the mutex on the hot path; hence atomic.
+  StatsCounter HotPathOps;
+  StatsCounter CachePathOps;
+};
+
+static_assert(SyncProtocol<HotLocks>,
+              "HotLocks must satisfy the protocol concept");
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_BASELINES_HOTLOCKS_H

@@ -1,0 +1,116 @@
+//===- baselines/MonitorCache.h - JDK 1.1.1 monitor cache model -*- C++ -*-===//
+///
+/// \file
+/// Model of the Sun JDK 1.1.1 synchronization baseline ("JDK111" in the
+/// paper's measurements).  "Monitors are kept outside of the objects to
+/// avoid the space cost, and are looked up in a monitor cache.
+/// Unfortunately this is not only inefficient, it does not scale because
+/// the monitor cache itself must be locked during lookups" (paper §1).
+///
+/// Every monitor operation therefore:
+///   1. acquires the single global cache mutex,
+///   2. hashes the object address to find (or create) its monitor,
+///   3. releases the cache mutex and operates on the heavy monitor.
+///
+/// Monitors come from a bounded pool.  When the pool's free list is empty
+/// a *sweep* scans the whole cache reclaiming monitors of unlocked
+/// objects.  When the working set of locked objects exceeds the pool, the
+/// free list thrashes: nearly every operation misses and pays a sweep —
+/// the behaviour behind JDK111's MultiSync degradation in Figure 4 ("the
+/// monitor cache thrashes its free list when the working set of monitors
+/// exceeds the size of the monitor cache", §3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_BASELINES_MONITORCACHE_H
+#define THINLOCKS_BASELINES_MONITORCACHE_H
+
+#include "core/LockProtocol.h"
+#include "fatlock/FatLock.h"
+#include "heap/Object.h"
+#include "threads/ThreadContext.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace thinlocks {
+
+/// Event counters for cache behaviour (all monotonically increasing).
+struct MonitorCacheStats {
+  uint64_t Lookups = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Sweeps = 0;
+  uint64_t SweepScannedEntries = 0;
+  uint64_t PoolGrowths = 0;
+};
+
+/// External-monitor baseline with a globally locked object->monitor map
+/// and a bounded monitor pool.
+class MonitorCache {
+public:
+  /// \param PoolSize number of pre-allocated monitors before reclamation
+  /// sweeps begin (the "size of the monitor cache").
+  explicit MonitorCache(size_t PoolSize = 128);
+  ~MonitorCache();
+
+  MonitorCache(const MonitorCache &) = delete;
+  MonitorCache &operator=(const MonitorCache &) = delete;
+
+  static const char *protocolName() { return "JDK111"; }
+
+  void lock(Object *Obj, const ThreadContext &Thread);
+  void unlock(Object *Obj, const ThreadContext &Thread);
+  bool unlockChecked(Object *Obj, const ThreadContext &Thread);
+  bool holdsLock(Object *Obj, const ThreadContext &Thread) const;
+  uint32_t lockDepth(Object *Obj, const ThreadContext &Thread) const;
+  WaitStatus wait(Object *Obj, const ThreadContext &Thread,
+                  int64_t TimeoutNanos = -1);
+  NotifyStatus notify(Object *Obj, const ThreadContext &Thread);
+  NotifyStatus notifyAll(Object *Obj, const ThreadContext &Thread);
+
+  /// \returns a snapshot of the cache behaviour counters.
+  MonitorCacheStats stats() const;
+
+  /// \returns the number of object->monitor mappings currently live.
+  size_t mappedMonitorCount() const;
+
+private:
+  struct CachedMonitor {
+    FatLock Lock;
+    const Object *Key = nullptr;
+    /// Threads that resolved this monitor and have not finished their
+    /// monitor operation yet; a sweep must not reclaim a pinned monitor.
+    uint32_t Pins = 0;
+    /// Times this mapping has been used since it was (re)installed.
+    uint64_t UseCount = 0;
+  };
+
+  /// Resolves the monitor for \p Obj, creating the mapping on a miss,
+  /// and pins it.  \returns nullptr only when \p CreateIfMissing is false
+  /// and no mapping exists.
+  CachedMonitor *resolveAndPin(const Object *Obj, bool CreateIfMissing);
+  void unpin(CachedMonitor *Monitor);
+
+  /// Sweeps the map reclaiming idle monitors onto the free list.  The
+  /// cache mutex must be held.  \returns how many were reclaimed.
+  size_t sweepLocked();
+
+  static bool isIdle(const CachedMonitor &Monitor);
+
+  mutable std::mutex CacheMutex;
+  std::unordered_map<const Object *, CachedMonitor *> Map;
+  std::vector<std::unique_ptr<CachedMonitor>> Pool;
+  std::vector<CachedMonitor *> FreeList;
+  MonitorCacheStats Counters;
+};
+
+static_assert(SyncProtocol<MonitorCache>,
+              "MonitorCache must satisfy the protocol concept");
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_BASELINES_MONITORCACHE_H

@@ -1,0 +1,55 @@
+//===- core/LockProtocol.h - Common protocol interface ---------*- C++ -*-===//
+///
+/// \file
+/// The interface shared by every synchronization protocol in this library:
+/// the thin-lock implementation (the paper's contribution) and the two
+/// baselines it is measured against (the JDK 1.1.1 monitor cache and the
+/// IBM 1.1.2 hot locks).  Benchmarks are templated over this concept so
+/// the fast paths are compared without virtual-dispatch noise; the VM uses
+/// the type-erased SyncBackend adapter instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_CORE_LOCKPROTOCOL_H
+#define THINLOCKS_CORE_LOCKPROTOCOL_H
+
+#include "heap/Object.h"
+#include "threads/ThreadContext.h"
+
+#include <concepts>
+#include <cstdint>
+
+namespace thinlocks {
+
+/// Result of a wait operation on an object monitor.
+enum class WaitStatus {
+  Notified, ///< Woken by notify/notifyAll.
+  TimedOut, ///< The timeout elapsed first.
+  NotOwner, ///< Caller did not own the monitor (IllegalMonitorState).
+};
+
+/// Result of a notify/notifyAll operation.
+enum class NotifyStatus {
+  Ok,       ///< Operation performed (possibly waking nobody).
+  NotOwner, ///< Caller did not own the monitor (IllegalMonitorState).
+};
+
+/// Compile-time interface every synchronization protocol satisfies.
+template <typename P>
+concept SyncProtocol = requires(P Protocol, Object *Obj,
+                                const ThreadContext &Thread,
+                                int64_t TimeoutNanos) {
+  { Protocol.lock(Obj, Thread) } -> std::same_as<void>;
+  { Protocol.unlock(Obj, Thread) } -> std::same_as<void>;
+  { Protocol.unlockChecked(Obj, Thread) } -> std::same_as<bool>;
+  { Protocol.holdsLock(Obj, Thread) } -> std::same_as<bool>;
+  { Protocol.lockDepth(Obj, Thread) } -> std::same_as<uint32_t>;
+  { Protocol.wait(Obj, Thread, TimeoutNanos) } -> std::same_as<WaitStatus>;
+  { Protocol.notify(Obj, Thread) } -> std::same_as<NotifyStatus>;
+  { Protocol.notifyAll(Obj, Thread) } -> std::same_as<NotifyStatus>;
+  { P::protocolName() } -> std::convertible_to<const char *>;
+};
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_CORE_LOCKPROTOCOL_H

@@ -1,0 +1,51 @@
+//===- core/LockStats.cpp - Lock operation characterization ---------------===//
+
+#include "core/LockStats.h"
+
+#include <cstdio>
+
+using namespace thinlocks;
+
+double LockStats::depthFraction(unsigned Bucket) const {
+  uint64_t All = Total.value();
+  if (All == 0)
+    return 0.0;
+  return static_cast<double>(DepthBuckets[Bucket].value()) /
+         static_cast<double>(All);
+}
+
+void LockStats::reset() {
+  Total.reset();
+  Releases.reset();
+  FastPath.reset();
+  FatPath.reset();
+  SpinIterations.reset();
+  ContentionInflations.reset();
+  OverflowInflations.reset();
+  WaitInflations.reset();
+  Deflations.reset();
+  for (auto &Bucket : DepthBuckets)
+    Bucket.reset();
+}
+
+std::string LockStats::summary() const {
+  char Buffer[512];
+  std::snprintf(
+      Buffer, sizeof(Buffer),
+      "locks=%llu unlocks=%llu fast=%llu fat=%llu spins=%llu\n"
+      "inflations: contention=%llu overflow=%llu wait=%llu "
+      "deflations=%llu\n"
+      "depth: first=%.1f%% second=%.1f%% third=%.1f%% fourth+=%.1f%%\n",
+      static_cast<unsigned long long>(totalAcquisitions()),
+      static_cast<unsigned long long>(totalReleases()),
+      static_cast<unsigned long long>(fastPathAcquisitions()),
+      static_cast<unsigned long long>(fatPathAcquisitions()),
+      static_cast<unsigned long long>(spinIterations()),
+      static_cast<unsigned long long>(contentionInflations()),
+      static_cast<unsigned long long>(overflowInflations()),
+      static_cast<unsigned long long>(waitInflations()),
+      static_cast<unsigned long long>(deflations()),
+      depthFraction(0) * 100.0, depthFraction(1) * 100.0,
+      depthFraction(2) * 100.0, depthFraction(3) * 100.0);
+  return Buffer;
+}

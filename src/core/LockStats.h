@@ -1,0 +1,92 @@
+//===- core/LockStats.h - Lock operation characterization ------*- C++ -*-===//
+///
+/// \file
+/// Instrumentation counters behind the paper's locking characterization:
+/// Table 1's synchronization counts and Figure 3's nesting-depth
+/// breakdown (First / Second / Third / Fourth-or-deeper lock operations),
+/// plus inflation causes.  Collection is optional: protocols take a
+/// nullable LockStats* and skip all recording when it is null, so
+/// measurement runs pay nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_CORE_LOCKSTATS_H
+#define THINLOCKS_CORE_LOCKSTATS_H
+
+#include "support/StatsCounter.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace thinlocks {
+
+/// Shared, thread-safe lock-event counters.
+class LockStats {
+public:
+  /// Figure 3 buckets: index 0 = first lock (object was unlocked),
+  /// 1 = second (nested once), 2 = third, 3 = fourth or deeper.
+  static constexpr unsigned NumDepthBuckets = 4;
+
+  /// Records one acquisition at nesting depth \p Depth (1-based).
+  void recordAcquire(uint32_t Depth) {
+    Total.increment();
+    unsigned Bucket = Depth >= NumDepthBuckets ? NumDepthBuckets - 1
+                                               : Depth - 1;
+    DepthBuckets[Bucket].increment();
+  }
+
+  void recordRelease() { Releases.increment(); }
+  void recordFastPath() { FastPath.increment(); }
+  void recordFatPath() { FatPath.increment(); }
+  void recordSpinIterations(uint64_t N) { SpinIterations.increment(N); }
+  void recordContentionInflation() { ContentionInflations.increment(); }
+  void recordOverflowInflation() { OverflowInflations.increment(); }
+  void recordWaitInflation() { WaitInflations.increment(); }
+  void recordDeflation() { Deflations.increment(); }
+
+  uint64_t totalAcquisitions() const { return Total.value(); }
+  uint64_t totalReleases() const { return Releases.value(); }
+  uint64_t fastPathAcquisitions() const { return FastPath.value(); }
+  uint64_t fatPathAcquisitions() const { return FatPath.value(); }
+  uint64_t spinIterations() const { return SpinIterations.value(); }
+  uint64_t contentionInflations() const {
+    return ContentionInflations.value();
+  }
+  uint64_t overflowInflations() const { return OverflowInflations.value(); }
+  uint64_t waitInflations() const { return WaitInflations.value(); }
+  uint64_t inflations() const {
+    return contentionInflations() + overflowInflations() + waitInflations();
+  }
+  uint64_t deflations() const { return Deflations.value(); }
+
+  /// \returns the acquisition count in Figure 3 bucket \p Bucket (0..3).
+  uint64_t depthBucket(unsigned Bucket) const {
+    return DepthBuckets[Bucket].value();
+  }
+
+  /// \returns bucket \p Bucket as a fraction of all acquisitions (0 when
+  /// nothing has been recorded).
+  double depthFraction(unsigned Bucket) const;
+
+  void reset();
+
+  /// Renders a human-readable multi-line summary.
+  std::string summary() const;
+
+private:
+  StatsCounter Total;
+  StatsCounter Releases;
+  StatsCounter FastPath;
+  StatsCounter FatPath;
+  StatsCounter SpinIterations;
+  StatsCounter ContentionInflations;
+  StatsCounter OverflowInflations;
+  StatsCounter WaitInflations;
+  StatsCounter Deflations;
+  std::array<StatsCounter, NumDepthBuckets> DepthBuckets;
+};
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_CORE_LOCKSTATS_H

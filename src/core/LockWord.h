@@ -1,0 +1,149 @@
+//===- core/LockWord.h - 24-bit thin/fat lock word encoding ----*- C++ -*-===//
+///
+/// \file
+/// The bit-level encoding of paper Figures 1(b) and 2(a).  A lock word is
+/// one 32-bit header word whose high 24 bits are the lock field and whose
+/// low 8 bits are unrelated header data that locking must preserve:
+///
+///   bit  31     : monitor shape bit (0 = thin, 1 = fat/inflated)
+///   bits 30..16 : thin: 15-bit owner thread index (0 = unlocked)
+///   bits 15..8  : thin: nested lock count MINUS ONE (8 bits)
+///   bits 30..8  : fat: 23-bit monitor index
+///   bits  7..0  : other header data (constant; here, a hash byte)
+///
+/// The encoding is engineered so the hot checks are single ALU operations:
+///  - compose "locked once by me" = (header bits) | (index << 16), where
+///    the shifted index is precomputed in the ThreadContext;
+///  - "thin, owned by me, count < 255" = ((word XOR shiftedIndex) <
+///    (255 << 8)), the paper's exclusive-or trick (§2.3.3);
+///  - "thin, owned by me, count == 0" = ((word XOR shiftedIndex) <= 0xFF),
+///    the unlock fast-path equality check (§2.3.2) folded with the header
+///    byte mask.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_CORE_LOCKWORD_H
+#define THINLOCKS_CORE_LOCKWORD_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace thinlocks {
+namespace lockword {
+
+/// Monitor shape bit: clear for thin, set for fat (paper §2.3).
+constexpr uint32_t ShapeBit = 1u << 31;
+
+/// Thin lock thread-index field.
+constexpr unsigned ThreadIndexShift = 16;
+constexpr unsigned ThreadIndexBits = 15;
+constexpr uint32_t MaxThreadIndex = (1u << ThreadIndexBits) - 1;
+constexpr uint32_t ThreadIndexMask = MaxThreadIndex << ThreadIndexShift;
+
+/// Thin lock nested-count field (stores count-1; 0 with index 0 means
+/// unlocked).
+constexpr unsigned CountShift = 8;
+constexpr unsigned CountBits = 8;
+constexpr uint32_t MaxCount = (1u << CountBits) - 1;
+constexpr uint32_t CountMask = MaxCount << CountShift;
+/// Adding CountUnit to a lock word increments the nested count (§2.3.3:
+/// "the count field is incremented by adding 256 to the lock word").
+constexpr uint32_t CountUnit = 1u << CountShift;
+
+/// Fat lock monitor-index field (23 bits: everything but the shape bit
+/// and the header byte).
+constexpr unsigned MonitorIndexShift = 8;
+constexpr unsigned MonitorIndexBits = 23;
+constexpr uint32_t MaxMonitorIndex = (1u << MonitorIndexBits) - 1;
+constexpr uint32_t MonitorIndexMask = MaxMonitorIndex << MonitorIndexShift;
+
+/// The 8 low bits of other header data that share the word.
+constexpr uint32_t HeaderBitsMask = 0xFFu;
+/// The 24 bits the locking code owns.
+constexpr uint32_t LockFieldMask = ~HeaderBitsMask;
+
+/// The nested-lock fast-path limit: the XOR check below admits counts
+/// 0..254, so counts can reach 255 (256 holds) and the 257th acquisition
+/// inflates — the paper's "excessive nesting depth (in our implementation,
+/// we define excessive as 257)".
+constexpr uint32_t NestedCheckLimit = MaxCount << CountShift;
+
+/// \returns true if \p Word encodes a thin (possibly unlocked) lock.
+constexpr bool isThin(uint32_t Word) { return (Word & ShapeBit) == 0; }
+
+/// \returns true if \p Word encodes an inflated (fat) lock.
+constexpr bool isFat(uint32_t Word) { return (Word & ShapeBit) != 0; }
+
+/// \returns true if \p Word is thin and unlocked (thread index 0).
+constexpr bool isUnlocked(uint32_t Word) {
+  return (Word & (ShapeBit | ThreadIndexMask)) == 0;
+}
+
+/// \returns the thin owner's thread index (0 = unlocked). Thin words only.
+constexpr uint16_t threadIndexOf(uint32_t Word) {
+  assert(isThin(Word) && "thread index of a fat lock word");
+  return static_cast<uint16_t>((Word & ThreadIndexMask) >> ThreadIndexShift);
+}
+
+/// \returns the thin nested count field = number of holds MINUS ONE.
+/// Thin locked words only.
+constexpr uint32_t countOf(uint32_t Word) {
+  assert(isThin(Word) && "count of a fat lock word");
+  return (Word & CountMask) >> CountShift;
+}
+
+/// \returns the monitor index of an inflated word.
+constexpr uint32_t monitorIndexOf(uint32_t Word) {
+  assert(isFat(Word) && "monitor index of a thin lock word");
+  return (Word & MonitorIndexMask) >> MonitorIndexShift;
+}
+
+/// \returns the preserved non-lock header bits of \p Word.
+constexpr uint32_t headerBitsOf(uint32_t Word) {
+  return Word & HeaderBitsMask;
+}
+
+/// Composes a thin lock word.
+constexpr uint32_t makeThin(uint16_t ThreadIndex, uint32_t Count,
+                            uint32_t HeaderBits) {
+  assert(ThreadIndex <= MaxThreadIndex && "thread index overflows 15 bits");
+  assert(Count <= MaxCount && "count overflows 8 bits");
+  assert((HeaderBits & ~HeaderBitsMask) == 0 && "header bits overflow");
+  assert((ThreadIndex != 0 || Count == 0) &&
+         "unlocked word must have a zero count");
+  return (static_cast<uint32_t>(ThreadIndex) << ThreadIndexShift) |
+         (Count << CountShift) | HeaderBits;
+}
+
+/// Composes an inflated lock word.
+constexpr uint32_t makeFat(uint32_t MonitorIndex, uint32_t HeaderBits) {
+  assert(MonitorIndex != 0 && MonitorIndex <= MaxMonitorIndex &&
+         "monitor index out of range");
+  assert((HeaderBits & ~HeaderBitsMask) == 0 && "header bits overflow");
+  return ShapeBit | (MonitorIndex << MonitorIndexShift) | HeaderBits;
+}
+
+/// The paper's §2.3.3 XOR trick: true iff \p Word is thin, owned by the
+/// thread whose pre-shifted index is \p ShiftedIndex, and its count can
+/// still be incremented without overflowing.
+constexpr bool canNestInline(uint32_t Word, uint32_t ShiftedIndex) {
+  return (Word ^ ShiftedIndex) < NestedCheckLimit;
+}
+
+/// The §2.3.2 unlock fast-path check: true iff \p Word is thin, owned by
+/// \p ShiftedIndex's thread, with count 0 (exactly one hold).
+constexpr bool isSingleHoldByOwner(uint32_t Word, uint32_t ShiftedIndex) {
+  return (Word ^ ShiftedIndex) <= HeaderBitsMask;
+}
+
+/// \returns true if \p Word is thin and owned by \p ShiftedIndex's thread
+/// (any count).
+constexpr bool isThinOwnedBy(uint32_t Word, uint32_t ShiftedIndex) {
+  return ((Word ^ ShiftedIndex) & (ShapeBit | ThreadIndexMask)) == 0 &&
+         ShiftedIndex != 0;
+}
+
+} // namespace lockword
+} // namespace thinlocks
+
+#endif // THINLOCKS_CORE_LOCKWORD_H

@@ -1,0 +1,8 @@
+//===- core/SyncBackend.cpp - Type-erased protocol adapter ----------------===//
+
+#include "core/SyncBackend.h"
+
+using namespace thinlocks;
+
+// Out-of-line destructor anchors the vtable in this translation unit.
+SyncBackend::~SyncBackend() = default;

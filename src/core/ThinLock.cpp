@@ -1,0 +1,12 @@
+//===- core/ThinLock.cpp - Explicit policy instantiations -----------------===//
+
+#include "core/ThinLock.h"
+
+namespace thinlocks {
+
+template class ThinLockImpl<DynamicPolicy>;
+template class ThinLockImpl<UniprocessorPolicy>;
+template class ThinLockImpl<MultiprocessorPolicy>;
+template class ThinLockImpl<CasUnlockPolicy>;
+
+} // namespace thinlocks

@@ -1,0 +1,473 @@
+//===- core/ThinLock.h - The thin lock protocol ----------------*- C++ -*-===//
+///
+/// \file
+/// The paper's contribution: monitors implemented in 24 bits of the
+/// object header, layered as "a veneer over the existing heavy-weight
+/// locking facilities" (the FatLock/MonitorTable substrate).
+///
+/// Protocol summary (paper §2.3):
+///  - lock: one compare-and-swap of (header bits) -> (my shifted index |
+///    header bits).  Success means the object was unlocked; the count
+///    field (holds-1) is already correct at zero.
+///  - nested lock: the XOR check recognizes "thin, mine, count < 255";
+///    the count is incremented with a plain store — no atomic needed,
+///    because only the owner ever writes an owned thin lock word.
+///  - unlock: compare against "mine, count 0" and plain-store the header
+///    bits back; nested unlock decrements with a plain store.
+///  - contention: the acquirer spin-waits (with backoff and yields) for
+///    the word to become unlocked, CASes it to itself, and *inflates*:
+///    allocates a fat lock, transfers its hold, and publishes
+///    (shape bit | monitor index).  Inflation is permanent.
+///  - count overflow (257th hold) and wait() also inflate.
+///
+/// ThinLockImpl is templated over a fence/unlock policy (core/Variants.h)
+/// so the paper's §3.5 tradeoff variants share one implementation.
+/// ThinLockManager (= ThinLockImpl<DynamicPolicy>) is the configuration
+/// the paper shipped and the one examples and the VM use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_CORE_THINLOCK_H
+#define THINLOCKS_CORE_THINLOCK_H
+
+#include "core/LockProtocol.h"
+#include "core/LockStats.h"
+#include "core/LockWord.h"
+#include "core/Variants.h"
+#include "fatlock/MonitorTable.h"
+#include "heap/Object.h"
+#include "support/Compiler.h"
+#include "support/SpinWait.h"
+#include "threads/ThreadContext.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <thread>
+
+namespace thinlocks {
+
+/// Whether inflated locks may be deflated back to thin.
+///
+/// The paper keeps inflation permanent: "This discipline prevents
+/// thrashing between the thin and fat states.  It also considerably
+/// simplifies the implementation."  WhenQuiescent implements the
+/// follow-up direction (deflation at quiescence, cf. Onodera &
+/// Kawachiya's Tasuki locks): when the last hold of a fat lock is
+/// released with an empty entry queue and wait set, the monitor is
+/// *retired* and the object's word returns to thin-unlocked.  Threads
+/// holding a stale fat word bounce off the retired monitor and re-read
+/// the word.  The bench_deflation ablation measures both sides of the
+/// paper's tradeoff: recovery of thin-lock speed after one contention
+/// burst vs. inflate/deflate thrashing under repeated contention.
+enum class DeflationPolicy : uint8_t { Never, WhenQuiescent };
+
+/// Thin-lock protocol over a MonitorTable, parameterized by a fence /
+/// unlock policy.
+template <typename Policy> class ThinLockImpl {
+public:
+  /// \param Monitors fat-lock table used once objects inflate.
+  /// \param Stats optional instrumentation sink; null disables recording.
+  /// \param Deflation whether fat locks retire at quiescence (the paper's
+  /// discipline is Never).
+  explicit ThinLockImpl(MonitorTable &Monitors, LockStats *Stats = nullptr,
+                        DeflationPolicy Deflation = DeflationPolicy::Never)
+      : Monitors(Monitors), Stats(Stats), Deflation(Deflation) {}
+
+  ThinLockImpl(const ThinLockImpl &) = delete;
+  ThinLockImpl &operator=(const ThinLockImpl &) = delete;
+
+  static const char *protocolName() { return Policy::Name; }
+
+  /// Acquires \p Obj's monitor for \p Thread (recursively if already
+  /// held).  The paper's 17-instruction fast path is the inline portion.
+  TL_ALWAYS_INLINE void lock(Object *Obj, const ThreadContext &Thread) {
+    assert(Thread.isValid() && "locking with an unattached thread");
+    std::atomic<uint32_t> &Word = Obj->lockWord();
+    // Old value per §2.3.1: load the lock word and mask to the header
+    // bits — i.e. guess "unlocked".
+    uint32_t Old =
+        Word.load(std::memory_order_relaxed) & lockword::HeaderBitsMask;
+    uint32_t Desired = Old | Thread.shiftedIndex();
+    if (TL_LIKELY(Word.compare_exchange_strong(Old, Desired,
+                                               std::memory_order_acquire,
+                                               std::memory_order_relaxed))) {
+      Policy::afterAcquireFence();
+      if (TL_UNLIKELY(Stats != nullptr)) {
+        Stats->recordFastPath();
+        Stats->recordAcquire(1);
+      }
+      return;
+    }
+    // The failed CAS loaded the current word into Old.  §2.3.3: check
+    // the next most likely case — nested locking by the owner — inline,
+    // and bump the count with a plain store (owner-only discipline; no
+    // fence needed, we are already inside the critical section).
+    if (TL_LIKELY(lockword::canNestInline(Old, Thread.shiftedIndex()))) {
+      Word.store(Old + lockword::CountUnit, std::memory_order_relaxed);
+      if (TL_UNLIKELY(Stats != nullptr))
+        Stats->recordAcquire(lockword::countOf(Old) + 2);
+      return;
+    }
+    lockSlow(Obj, Thread);
+  }
+
+  /// Releases one hold of \p Obj's monitor.  Asserts ownership; the VM
+  /// uses unlockChecked() instead to surface IllegalMonitorState.
+  TL_ALWAYS_INLINE void unlock(Object *Obj, const ThreadContext &Thread) {
+    std::atomic<uint32_t> &Word = Obj->lockWord();
+    uint32_t Value = Word.load(std::memory_order_relaxed);
+    uint32_t Shifted = Thread.shiftedIndex();
+    if (TL_LIKELY(lockword::isSingleHoldByOwner(Value, Shifted))) {
+      // §2.3.2: owner-only discipline makes a plain store sufficient.
+      Policy::beforeReleaseFence();
+      storeRelease(Word, Value, Value & lockword::HeaderBitsMask);
+      if (TL_UNLIKELY(Stats != nullptr))
+        Stats->recordRelease();
+      return;
+    }
+    // Nested unlock (§2.3.3): thin, ours, count > 0 — decrement with a
+    // plain store.  The monitor stays held, so no release fence either.
+    if (TL_LIKELY(lockword::isThinOwnedBy(Value, Shifted))) {
+      Word.store(Value - lockword::CountUnit, std::memory_order_relaxed);
+      if (TL_UNLIKELY(Stats != nullptr))
+        Stats->recordRelease();
+      return;
+    }
+    unlockSlow(Obj, Thread);
+  }
+
+  /// Non-asserting unlock. \returns false if \p Thread does not own the
+  /// monitor (leaving it untouched).
+  bool unlockChecked(Object *Obj, const ThreadContext &Thread) {
+    std::atomic<uint32_t> &Word = Obj->lockWord();
+    uint32_t Value = Word.load(std::memory_order_relaxed);
+    uint32_t Shifted = Thread.shiftedIndex();
+    if (lockword::isFat(Value)) {
+      FatLock *Fat = Monitors.get(lockword::monitorIndexOf(Value));
+      if (Deflation == DeflationPolicy::Never) {
+        bool Ok = Fat->unlockChecked(Thread);
+        if (Ok && Stats)
+          Stats->recordRelease();
+        return Ok;
+      }
+      switch (Fat->unlockAndTryRetire(Thread)) {
+      case FatLock::ReleaseResult::NotOwner:
+        return false;
+      case FatLock::ReleaseResult::Released:
+        if (Stats)
+          Stats->recordRelease();
+        return true;
+      case FatLock::ReleaseResult::RetiredNow:
+        // Deflate: we were the only user; re-publish the thin word.
+        // Only the (final) owner performs this store, preserving the
+        // owner-only write discipline.  The retired monitor's table
+        // slot is intentionally never reused: threads may still hold
+        // the stale index and must resolve it to the *retired* monitor
+        // to learn they should retry.
+        Word.store(lockword::headerBitsOf(Value),
+                   std::memory_order_release);
+        if (Stats) {
+          Stats->recordRelease();
+          Stats->recordDeflation();
+        }
+        return true;
+      }
+      return false; // Unreachable; switch is exhaustive.
+    }
+    if (!lockword::isThinOwnedBy(Value, Shifted))
+      return false;
+    Policy::beforeReleaseFence();
+    if (lockword::countOf(Value) == 0)
+      storeRelease(Word, Value, Value & lockword::HeaderBitsMask);
+    else
+      storeRelease(Word, Value, Value - lockword::CountUnit);
+    if (Stats)
+      Stats->recordRelease();
+    return true;
+  }
+
+  /// Attempts to acquire without blocking (recursion always succeeds up
+  /// to the thin count limit; a contended thin lock fails without
+  /// inflating).
+  bool tryLock(Object *Obj, const ThreadContext &Thread) {
+    std::atomic<uint32_t> &Word = Obj->lockWord();
+    uint32_t Shifted = Thread.shiftedIndex();
+  Retry:
+    uint32_t Value = Word.load(std::memory_order_relaxed);
+    if (lockword::isFat(Value)) {
+      FatLock *Fat = Monitors.get(lockword::monitorIndexOf(Value));
+      switch (Fat->tryLockStatus(Thread)) {
+      case FatLock::TryResult::Acquired:
+        if (Stats) {
+          Stats->recordFatPath();
+          Stats->recordAcquire(Fat->holdCount());
+        }
+        return true;
+      case FatLock::TryResult::Busy:
+        return false;
+      case FatLock::TryResult::Retired:
+        // Deflated under us; the word is changing. Yield so the
+        // deflater can publish, then re-read.
+        std::this_thread::yield();
+        goto Retry;
+      }
+    }
+    if (lockword::isUnlocked(Value)) {
+      uint32_t Old = Value & lockword::HeaderBitsMask;
+      if (Word.compare_exchange_strong(Old, Old | Shifted,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        Policy::afterAcquireFence();
+        if (Stats) {
+          Stats->recordFastPath();
+          Stats->recordAcquire(1);
+        }
+        return true;
+      }
+      return false;
+    }
+    if (lockword::canNestInline(Value, Shifted)) {
+      Word.store(Value + lockword::CountUnit, std::memory_order_relaxed);
+      if (Stats)
+        Stats->recordAcquire(lockword::countOf(Value) + 2);
+      return true;
+    }
+    return false;
+  }
+
+  /// \returns true if \p Thread owns \p Obj's monitor.
+  bool holdsLock(Object *Obj, const ThreadContext &Thread) const {
+    uint32_t Value = Obj->lockWord().load(std::memory_order_relaxed);
+    if (lockword::isFat(Value))
+      return Monitors.get(lockword::monitorIndexOf(Value))->heldBy(Thread);
+    return lockword::isThinOwnedBy(Value, Thread.shiftedIndex());
+  }
+
+  /// \returns \p Thread's hold count on \p Obj (0 if not the owner).
+  uint32_t lockDepth(Object *Obj, const ThreadContext &Thread) const {
+    uint32_t Value = Obj->lockWord().load(std::memory_order_relaxed);
+    if (lockword::isFat(Value)) {
+      FatLock *Fat = Monitors.get(lockword::monitorIndexOf(Value));
+      return Fat->heldBy(Thread) ? Fat->holdCount() : 0;
+    }
+    if (!lockword::isThinOwnedBy(Value, Thread.shiftedIndex()))
+      return 0;
+    return lockword::countOf(Value) + 1;
+  }
+
+  /// Java Object.wait(): always inflates a thin lock first, because only
+  /// fat locks have wait queues (paper §2.3: thin locks are for objects
+  /// that "do not have wait, notify, or notifyAll operations performed
+  /// upon them").
+  WaitStatus wait(Object *Obj, const ThreadContext &Thread,
+                  int64_t TimeoutNanos = -1) {
+    std::atomic<uint32_t> &Word = Obj->lockWord();
+    uint32_t Value = Word.load(std::memory_order_relaxed);
+    FatLock *Fat = nullptr;
+    if (lockword::isFat(Value)) {
+      Fat = Monitors.get(lockword::monitorIndexOf(Value));
+      if (!Fat->heldBy(Thread))
+        return WaitStatus::NotOwner;
+    } else {
+      if (!lockword::isThinOwnedBy(Value, Thread.shiftedIndex()))
+        return WaitStatus::NotOwner;
+      Fat = inflateOwned(Obj, Thread, Value, lockword::countOf(Value) + 1);
+      if (Stats)
+        Stats->recordWaitInflation();
+    }
+    return Fat->wait(Thread, TimeoutNanos) == FatLock::WaitResult::Notified
+               ? WaitStatus::Notified
+               : WaitStatus::TimedOut;
+  }
+
+  /// Java Object.notify().  On a thin lock held by the caller this is a
+  /// no-op: a thin lock cannot have waiters (wait() inflates).
+  NotifyStatus notify(Object *Obj, const ThreadContext &Thread) {
+    return notifyImpl(Obj, Thread, /*All=*/false);
+  }
+
+  /// Java Object.notifyAll().
+  NotifyStatus notifyAll(Object *Obj, const ThreadContext &Thread) {
+    return notifyImpl(Obj, Thread, /*All=*/true);
+  }
+
+  /// \returns true once \p Obj's lock has been inflated (it never
+  /// deflates — paper: "Once an object's lock is inflated, it remains
+  /// inflated for the lifetime of the object").
+  bool isInflated(const Object *Obj) const {
+    return lockword::isFat(Obj->lockWord().load(std::memory_order_relaxed));
+  }
+
+  /// \returns the fat lock behind \p Obj, or nullptr while still thin.
+  FatLock *monitorOf(const Object *Obj) const {
+    uint32_t Value = Obj->lockWord().load(std::memory_order_acquire);
+    if (!lockword::isFat(Value))
+      return nullptr;
+    return Monitors.get(lockword::monitorIndexOf(Value));
+  }
+
+  /// Out-of-line entry points for the paper's "FnCall" variant (§3.5):
+  /// same algorithm, but the fast path pays a call.
+  TL_NOINLINE void lockOutOfLine(Object *Obj, const ThreadContext &Thread) {
+    lock(Obj, Thread);
+  }
+  TL_NOINLINE void unlockOutOfLine(Object *Obj,
+                                   const ThreadContext &Thread) {
+    unlock(Obj, Thread);
+  }
+
+  LockStats *stats() const { return Stats; }
+  void setStats(LockStats *NewStats) { Stats = NewStats; }
+  MonitorTable &monitorTable() { return Monitors; }
+
+private:
+  /// Release a thin word the policy's way: plain store (the paper's
+  /// discipline) or compare-and-swap (the UnlkC&S ablation).
+  TL_ALWAYS_INLINE void storeRelease(std::atomic<uint32_t> &Word,
+                                     uint32_t Expected, uint32_t Desired) {
+    if constexpr (Policy::UseCasUnlock) {
+      [[maybe_unused]] bool Ok = Word.compare_exchange_strong(
+          Expected, Desired, std::memory_order_release,
+          std::memory_order_relaxed);
+      assert(Ok && "owner-only discipline violated: unlock CAS failed");
+    } else {
+      Word.store(Desired, std::memory_order_release);
+    }
+  }
+
+  TL_NOINLINE void lockSlow(Object *Obj, const ThreadContext &Thread) {
+    std::atomic<uint32_t> &Word = Obj->lockWord();
+    uint32_t Shifted = Thread.shiftedIndex();
+    SpinWait Spinner;
+    for (;;) {
+      uint32_t Value = Word.load(std::memory_order_acquire);
+
+      if (lockword::isFat(Value)) {
+        FatLock *Fat = Monitors.get(lockword::monitorIndexOf(Value));
+        if (TL_UNLIKELY(!Fat->lockIfLive(Thread))) {
+          // Monitor retired by deflation; back off briefly (the
+          // deflater has yet to store the fresh thin word), re-read.
+          Spinner.spinOnce();
+          continue;
+        }
+        Policy::afterAcquireFence();
+        if (Stats) {
+          Stats->recordFatPath();
+          Stats->recordAcquire(Fat->holdCount());
+          Stats->recordSpinIterations(Spinner.totalSpins());
+        }
+        return;
+      }
+
+      if (lockword::isThinOwnedBy(Value, Shifted)) {
+        uint32_t Count = lockword::countOf(Value);
+        if (Count < lockword::MaxCount) {
+          // §2.3.3: nested lock — owner-only plain store of word + 256.
+          Word.store(Value + lockword::CountUnit, std::memory_order_relaxed);
+          if (Stats)
+            Stats->recordAcquire(Count + 2);
+          return;
+        }
+        // 257th hold: inflate, transferring the 256 existing holds plus
+        // this acquisition.
+        FatLock *Fat = inflateOwned(Obj, Thread, Value, Count + 2);
+        (void)Fat;
+        if (Stats) {
+          Stats->recordOverflowInflation();
+          Stats->recordAcquire(Count + 2);
+        }
+        return;
+      }
+
+      if (lockword::isUnlocked(Value)) {
+        uint32_t Old = Value & lockword::HeaderBitsMask;
+        if (Word.compare_exchange_weak(Old, Old | Shifted,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+          Policy::afterAcquireFence();
+          // §2.3.4: we reached here because another thread held the
+          // lock; by the locality-of-contention principle, inflate now
+          // so future contention uses the fat lock's queues.
+          inflateOwned(Obj, Thread, Old | Shifted, 1);
+          if (Stats) {
+            Stats->recordContentionInflation();
+            Stats->recordAcquire(1);
+            Stats->recordSpinIterations(Spinner.totalSpins());
+          }
+          return;
+        }
+        continue; // Lost a race; reevaluate the fresh value.
+      }
+
+      // Thin and owned by another thread: spin with backoff (§2.3.4).
+      Spinner.spinOnce();
+    }
+  }
+
+  TL_NOINLINE void unlockSlow(Object *Obj, const ThreadContext &Thread) {
+    [[maybe_unused]] bool Ok = unlockChecked(Obj, Thread);
+    assert(Ok && "unlock of a monitor the thread does not own");
+  }
+
+  /// Inflates a thin lock the calling thread owns: allocates a fat lock,
+  /// transfers \p Holds holds, and publishes the fat lock word.  Only the
+  /// owner may call this (it writes the lock word with a plain store).
+  FatLock *inflateOwned(Object *Obj, const ThreadContext &Thread,
+                        uint32_t CurrentWord, uint32_t Holds) {
+    assert(lockword::isThinOwnedBy(CurrentWord, Thread.shiftedIndex()) &&
+           "inflating a lock the thread does not own");
+    uint32_t Index = Monitors.allocate();
+    assert(Index != 0 && "monitor index space exhausted");
+    FatLock *Fat = Monitors.get(Index);
+    Fat->lockWithCount(Thread, Holds);
+    uint32_t HeaderBits = lockword::headerBitsOf(CurrentWord);
+    Obj->lockWord().store(lockword::makeFat(Index, HeaderBits),
+                          std::memory_order_release);
+    return Fat;
+  }
+
+  NotifyStatus notifyImpl(Object *Obj, const ThreadContext &Thread,
+                          bool All) {
+    uint32_t Value = Obj->lockWord().load(std::memory_order_relaxed);
+    if (lockword::isFat(Value)) {
+      FatLock *Fat = Monitors.get(lockword::monitorIndexOf(Value));
+      if (!Fat->heldBy(Thread))
+        return NotifyStatus::NotOwner;
+      if (All)
+        Fat->notifyAll(Thread);
+      else
+        Fat->notify(Thread);
+      return NotifyStatus::Ok;
+    }
+    // Thin lock: if we own it there can be no waiters, so notify is a
+    // legal no-op; otherwise it is an IllegalMonitorState.
+    return lockword::isThinOwnedBy(Value, Thread.shiftedIndex())
+               ? NotifyStatus::Ok
+               : NotifyStatus::NotOwner;
+  }
+
+  MonitorTable &Monitors;
+  LockStats *Stats;
+  DeflationPolicy Deflation;
+};
+
+/// The shipping configuration (paper §3.5.1): per-operation dynamic
+/// machine-type check.
+using ThinLockManager = ThinLockImpl<DynamicPolicy>;
+/// §3.5 ablation configurations.
+using ThinLockUP = ThinLockImpl<UniprocessorPolicy>;
+using ThinLockMP = ThinLockImpl<MultiprocessorPolicy>;
+using ThinLockCasUnlock = ThinLockImpl<CasUnlockPolicy>;
+
+static_assert(SyncProtocol<ThinLockManager>,
+              "ThinLockManager must satisfy the protocol concept");
+
+extern template class ThinLockImpl<DynamicPolicy>;
+extern template class ThinLockImpl<UniprocessorPolicy>;
+extern template class ThinLockImpl<MultiprocessorPolicy>;
+extern template class ThinLockImpl<CasUnlockPolicy>;
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_CORE_THINLOCK_H

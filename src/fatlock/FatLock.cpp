@@ -1,0 +1,240 @@
+//===- fatlock/FatLock.cpp - Heavy-weight Java monitor --------------------===//
+
+#include "fatlock/FatLock.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+using namespace thinlocks;
+
+void FatLock::acquireSlow(std::unique_lock<std::mutex> &Guard,
+                          uint16_t Index) {
+  uint64_t Ticket = NextTicket++;
+  if (Owner != 0 || ServingTicket != Ticket)
+    ++Counters.ContendedAcquisitions;
+  EntryCv.wait(Guard,
+               [&] { return Owner == 0 && ServingTicket == Ticket; });
+  Owner = Index;
+  ++ServingTicket;
+}
+
+void FatLock::lock(const ThreadContext &Thread) {
+  assert(Thread.isValid() && "locking with an unattached thread");
+  std::unique_lock<std::mutex> Guard(Mutex);
+  assert(!Retired && "locking a retired (deflated) monitor");
+  ++Counters.Acquisitions;
+  if (Owner == Thread.index()) {
+    ++Hold;
+    return;
+  }
+  acquireSlow(Guard, Thread.index());
+  Hold = 1;
+}
+
+bool FatLock::lockIfLive(const ThreadContext &Thread) {
+  assert(Thread.isValid() && "locking with an unattached thread");
+  std::unique_lock<std::mutex> Guard(Mutex);
+  if (Retired)
+    return false;
+  ++Counters.Acquisitions;
+  if (Owner == Thread.index()) {
+    ++Hold;
+    return true;
+  }
+  // Retirement requires an empty entry queue, so taking a ticket below
+  // guarantees the monitor stays live until we acquire it.
+  acquireSlow(Guard, Thread.index());
+  Hold = 1;
+  return true;
+}
+
+FatLock::ReleaseResult
+FatLock::unlockAndTryRetire(const ThreadContext &Thread) {
+  std::unique_lock<std::mutex> Guard(Mutex);
+  if (Owner != Thread.index())
+    return ReleaseResult::NotOwner;
+  assert(Hold > 0 && "owner with zero hold count");
+  if (Hold == 1 && ServingTicket == NextTicket && ThreadsInWait == 0) {
+    // Fully quiescent: nobody is queued (tickets drained) and nobody is
+    // waiting.  Retire instead of releasing; late arrivals that already
+    // resolved this monitor bounce out of lockIfLive() and re-read the
+    // object's lock word.
+    Hold = 0;
+    Owner = 0;
+    Retired = true;
+    return ReleaseResult::RetiredNow;
+  }
+  if (--Hold == 0) {
+    Owner = 0;
+    EntryCv.notify_all();
+  }
+  return ReleaseResult::Released;
+}
+
+bool FatLock::isRetired() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Retired;
+}
+
+bool FatLock::tryLock(const ThreadContext &Thread) {
+  TryResult Result = tryLockStatus(Thread);
+  assert(Result != TryResult::Retired &&
+         "tryLock on a retired (deflated) monitor");
+  return Result == TryResult::Acquired;
+}
+
+FatLock::TryResult FatLock::tryLockStatus(const ThreadContext &Thread) {
+  assert(Thread.isValid() && "locking with an unattached thread");
+  std::unique_lock<std::mutex> Guard(Mutex);
+  if (Retired)
+    return TryResult::Retired;
+  if (Owner == Thread.index()) {
+    ++Counters.Acquisitions;
+    ++Hold;
+    return TryResult::Acquired;
+  }
+  if (Owner != 0 || ServingTicket != NextTicket)
+    return TryResult::Busy;
+  ++Counters.Acquisitions;
+  ++NextTicket;
+  ++ServingTicket;
+  Owner = Thread.index();
+  Hold = 1;
+  return TryResult::Acquired;
+}
+
+void FatLock::lockWithCount(const ThreadContext &Thread, uint32_t Count) {
+  assert(Thread.isValid() && "locking with an unattached thread");
+  assert(Count > 0 && "inflation transfers at least one hold");
+  std::unique_lock<std::mutex> Guard(Mutex);
+  assert(Owner == 0 && ServingTicket == NextTicket &&
+         "inflation target must be a fresh, unpublished monitor");
+  ++Counters.Acquisitions;
+  ++NextTicket;
+  ++ServingTicket;
+  Owner = Thread.index();
+  Hold = Count;
+}
+
+void FatLock::unlock(const ThreadContext &Thread) {
+  [[maybe_unused]] bool Ok = unlockChecked(Thread);
+  assert(Ok && "unlock by non-owner");
+}
+
+bool FatLock::unlockChecked(const ThreadContext &Thread) {
+  std::unique_lock<std::mutex> Guard(Mutex);
+  if (Owner != Thread.index())
+    return false;
+  assert(Hold > 0 && "owner with zero hold count");
+  if (--Hold == 0) {
+    Owner = 0;
+    // FIFO handoff: only the serving ticket's thread can proceed, but we
+    // must wake everyone so it finds out.
+    EntryCv.notify_all();
+  }
+  return true;
+}
+
+void FatLock::removeWaiter(WaitNode *Node) {
+  auto It = std::find(WaitSet.begin(), WaitSet.end(), Node);
+  if (It != WaitSet.end())
+    WaitSet.erase(It);
+}
+
+FatLock::WaitResult FatLock::wait(const ThreadContext &Thread,
+                                  int64_t TimeoutNanos) {
+  std::unique_lock<std::mutex> Guard(Mutex);
+  assert(Owner == Thread.index() && "wait by non-owner");
+  ++Counters.Waits;
+  // From here until reacquisition completes we are a user the
+  // quiescence check must see, even while absent from WaitSet and the
+  // ticket queue (the notify -> re-queue window).
+  ++ThreadsInWait;
+
+  WaitNode Node;
+  WaitSet.push_back(&Node);
+  uint32_t SavedHold = Hold;
+
+  // Release the monitor completely (Java semantics: all holds at once).
+  Owner = 0;
+  Hold = 0;
+  EntryCv.notify_all();
+
+  if (TimeoutNanos < 0) {
+    Node.Cv.wait(Guard, [&] { return Node.Notified; });
+  } else {
+    bool InTime = Node.Cv.wait_for(Guard,
+                                   std::chrono::nanoseconds(TimeoutNanos),
+                                   [&] { return Node.Notified; });
+    if (!InTime) {
+      removeWaiter(&Node);
+      ++Counters.Timeouts;
+    }
+  }
+  bool WasNotified = Node.Notified;
+
+  // Reacquire through the FIFO entry queue, restoring the hold count.
+  ++Counters.Acquisitions;
+  acquireSlow(Guard, Thread.index());
+  Hold = SavedHold;
+  assert(ThreadsInWait > 0 && "wait bookkeeping out of balance");
+  --ThreadsInWait;
+  return WasNotified ? WaitResult::Notified : WaitResult::TimedOut;
+}
+
+bool FatLock::notify(const ThreadContext &Thread) {
+  std::unique_lock<std::mutex> Guard(Mutex);
+  assert(Owner == Thread.index() && "notify by non-owner");
+  ++Counters.Notifies;
+  if (WaitSet.empty())
+    return false;
+  WaitNode *Node = WaitSet.front();
+  WaitSet.erase(WaitSet.begin());
+  Node->Notified = true;
+  Node->Cv.notify_one();
+  return true;
+}
+
+uint32_t FatLock::notifyAll(const ThreadContext &Thread) {
+  std::unique_lock<std::mutex> Guard(Mutex);
+  assert(Owner == Thread.index() && "notifyAll by non-owner");
+  ++Counters.Notifies;
+  uint32_t Woken = static_cast<uint32_t>(WaitSet.size());
+  for (WaitNode *Node : WaitSet) {
+    Node->Notified = true;
+    Node->Cv.notify_one();
+  }
+  WaitSet.clear();
+  return Woken;
+}
+
+bool FatLock::heldBy(const ThreadContext &Thread) const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Owner == Thread.index() && Thread.isValid();
+}
+
+uint16_t FatLock::ownerIndex() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Owner;
+}
+
+uint32_t FatLock::holdCount() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Hold;
+}
+
+uint32_t FatLock::entryQueueLength() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return static_cast<uint32_t>(NextTicket - ServingTicket);
+}
+
+uint32_t FatLock::waitSetSize() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return static_cast<uint32_t>(WaitSet.size());
+}
+
+FatLockStats FatLock::stats() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Counters;
+}

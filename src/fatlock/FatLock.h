@@ -1,0 +1,155 @@
+//===- fatlock/FatLock.h - Heavy-weight Java monitor -----------*- C++ -*-===//
+///
+/// \file
+/// The "pre-existing heavy-weight system" the paper layers thin locks on
+/// (§2.1): a multi-word monitor holding the owning thread, a nested lock
+/// count, a FIFO entry queue, and a wait set, supporting the full Java
+/// monitor semantics (lock, unlock, wait, notify, notifyAll).
+///
+/// The count here is "the number of locks (not the number of locks minus
+/// one, as in a thin lock)" — paper §2.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_FATLOCK_FATLOCK_H
+#define THINLOCKS_FATLOCK_FATLOCK_H
+
+#include "threads/ThreadContext.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace thinlocks {
+
+/// Aggregate event counts for one FatLock (snapshot under the internal
+/// mutex, so values are mutually consistent).
+struct FatLockStats {
+  uint64_t Acquisitions = 0;
+  uint64_t ContendedAcquisitions = 0;
+  uint64_t Waits = 0;
+  uint64_t Notifies = 0;
+  uint64_t Timeouts = 0;
+};
+
+/// A heavy-weight monitor.  Entry is FIFO (ticket-ordered); the wait set
+/// is FIFO (notify wakes the longest-waiting thread).  All identities are
+/// 15-bit thread indices from a ThreadRegistry.
+class FatLock {
+public:
+  enum class WaitResult { Notified, TimedOut };
+
+  /// Result of an unlock that may retire the monitor (deflation support;
+  /// see ThinLockImpl's DeflationPolicy).
+  enum class ReleaseResult { Released, RetiredNow, NotOwner };
+
+  FatLock() = default;
+  FatLock(const FatLock &) = delete;
+  FatLock &operator=(const FatLock &) = delete;
+
+  /// Acquires the monitor for \p Thread, blocking FIFO behind earlier
+  /// arrivals.  Recursive acquisition increments the hold count.
+  /// Asserts that the monitor has not been retired.
+  void lock(const ThreadContext &Thread);
+
+  /// Like lock(), but \returns false without acquiring if the monitor
+  /// has been *retired* by deflation — the caller must re-read the
+  /// object's lock word and start over.  Retirement can only happen
+  /// while the entry queue is empty, so once this call has queued it
+  /// cannot be stranded.
+  bool lockIfLive(const ThreadContext &Thread);
+
+  /// Releases one hold; when releasing the last hold finds the monitor
+  /// completely quiescent (no queued entrants, no waiters), retires it:
+  /// a retired monitor rejects all future use via lockIfLive().  The
+  /// caller then owns re-publishing the object's thin lock word.
+  ReleaseResult unlockAndTryRetire(const ThreadContext &Thread);
+
+  /// \returns true once the monitor has been retired by deflation.
+  bool isRetired() const;
+
+  /// Attempts to acquire without blocking.  Fails if another thread owns
+  /// the monitor or if threads are queued ahead.
+  bool tryLock(const ThreadContext &Thread);
+
+  /// Non-blocking acquisition attempt distinguishing "busy" from
+  /// "retired by deflation" (the latter means: re-read the lock word).
+  enum class TryResult { Acquired, Busy, Retired };
+  TryResult tryLockStatus(const ThreadContext &Thread);
+
+  /// Acquires ownership with an initial hold count of \p Count.  Used by
+  /// lock inflation, which transfers an existing thin-lock nesting depth
+  /// into the fat lock.  The monitor must be unowned with an empty queue;
+  /// this is guaranteed because inflation happens before the fat lock is
+  /// published in the object's lock word.
+  void lockWithCount(const ThreadContext &Thread, uint32_t Count);
+
+  /// Releases one hold; the monitor is freed when the count reaches zero.
+  /// Asserts that \p Thread is the owner.
+  void unlock(const ThreadContext &Thread);
+
+  /// Like unlock(), but \returns false (without asserting) when \p Thread
+  /// is not the owner — the hook for IllegalMonitorStateException.
+  bool unlockChecked(const ThreadContext &Thread);
+
+  /// Java Object.wait(): releases *all* holds, sleeps until notified or
+  /// until \p TimeoutNanos elapses (negative = wait forever), then
+  /// reacquires the monitor with the original hold count before returning.
+  /// Asserts that \p Thread is the owner.
+  WaitResult wait(const ThreadContext &Thread, int64_t TimeoutNanos = -1);
+
+  /// Wakes the longest-waiting thread, if any.  Asserts ownership.
+  /// \returns true if a waiter was woken.
+  bool notify(const ThreadContext &Thread);
+
+  /// Wakes every waiter.  Asserts ownership.  \returns how many.
+  uint32_t notifyAll(const ThreadContext &Thread);
+
+  /// \returns true if \p Thread currently owns this monitor.
+  bool heldBy(const ThreadContext &Thread) const;
+
+  /// \returns the owner's thread index, or 0 if unowned (racy snapshot).
+  uint16_t ownerIndex() const;
+
+  /// \returns the owner's current hold count (racy snapshot).
+  uint32_t holdCount() const;
+
+  /// \returns the number of threads blocked trying to enter.
+  uint32_t entryQueueLength() const;
+
+  /// \returns the number of threads in the wait set.
+  uint32_t waitSetSize() const;
+
+  /// \returns a consistent snapshot of the event counters.
+  FatLockStats stats() const;
+
+private:
+  struct WaitNode {
+    std::condition_variable Cv;
+    bool Notified = false;
+  };
+
+  // Blocks until the calling thread holds the monitor; Guard must hold
+  // Mutex on entry and holds it on return.
+  void acquireSlow(std::unique_lock<std::mutex> &Guard, uint16_t Index);
+  void removeWaiter(WaitNode *Node);
+
+  mutable std::mutex Mutex;
+  std::condition_variable EntryCv;
+  uint16_t Owner = 0;
+  bool Retired = false;
+  uint32_t Hold = 0;
+  uint64_t NextTicket = 0;
+  uint64_t ServingTicket = 0;
+  /// Threads currently inside wait() — including the window after
+  /// notify removes them from WaitSet but before they re-enter the
+  /// ticket queue.  Retirement (deflation) must treat them as users.
+  uint32_t ThreadsInWait = 0;
+  std::vector<WaitNode *> WaitSet;
+  FatLockStats Counters;
+};
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_FATLOCK_FATLOCK_H

@@ -1,0 +1,49 @@
+//===- fatlock/MonitorTable.cpp - 23-bit monitor index table --------------===//
+
+#include "fatlock/MonitorTable.h"
+
+#include <cassert>
+
+using namespace thinlocks;
+
+MonitorTable::MonitorTable() {
+  for (auto &Slot : Segments)
+    Slot.store(nullptr, std::memory_order_relaxed);
+}
+
+MonitorTable::~MonitorTable() = default;
+
+uint32_t MonitorTable::allocate() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  if (NextIndex > MaxMonitorIndex)
+    return 0;
+  uint32_t Index = NextIndex++;
+
+  uint32_t SegmentIndex = Index >> SegmentSizeLog2;
+  Segment *Seg = Segments[SegmentIndex].load(std::memory_order_relaxed);
+  if (!Seg) {
+    auto Fresh = std::make_unique<Segment>();
+    for (auto &Entry : *Fresh)
+      Entry.store(nullptr, std::memory_order_relaxed);
+    Seg = Fresh.get();
+    SegmentStorage.push_back(std::move(Fresh));
+    Segments[SegmentIndex].store(Seg, std::memory_order_release);
+  }
+
+  Storage.push_back(std::make_unique<FatLock>());
+  FatLock *Lock = Storage.back().get();
+  (*Seg)[Index & (SegmentSize - 1)].store(Lock, std::memory_order_release);
+  LiveCount.fetch_add(1, std::memory_order_relaxed);
+  return Index;
+}
+
+FatLock *MonitorTable::get(uint32_t Index) const {
+  assert(Index != 0 && Index <= MaxMonitorIndex && "bad monitor index");
+  Segment *Seg =
+      Segments[Index >> SegmentSizeLog2].load(std::memory_order_acquire);
+  assert(Seg && "monitor index names an unallocated segment");
+  FatLock *Lock =
+      (*Seg)[Index & (SegmentSize - 1)].load(std::memory_order_acquire);
+  assert(Lock && "monitor index not allocated");
+  return Lock;
+}

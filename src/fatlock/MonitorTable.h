@@ -1,0 +1,76 @@
+//===- fatlock/MonitorTable.h - 23-bit monitor index table -----*- C++ -*-===//
+///
+/// \file
+/// Maps the 23-bit monitor indices stored in inflated lock words to fat
+/// lock pointers (paper §2.3: "We maintain the table which maps inflated
+/// monitor indices to fat locks", Figure 2(b)).  The paper contrasts this
+/// against the JDK's monitor cache: resolving an index is "simply obtained
+/// by shifting the monitor index to the right and indexing into the
+/// vector" — no global lock, no hashing.  get() here is lock-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_FATLOCK_MONITORTABLE_H
+#define THINLOCKS_FATLOCK_MONITORTABLE_H
+
+#include "fatlock/FatLock.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace thinlocks {
+
+/// Growable, chunked index -> FatLock* table.  Allocation takes a mutex;
+/// lookup is wait-free.  Index 0 is reserved (never allocated) so a zeroed
+/// lock word can never accidentally name a monitor.
+class MonitorTable {
+public:
+  /// Indices must fit the 23 bits available in an inflated lock word.
+  static constexpr uint32_t MaxMonitorIndex = (1u << 23) - 1;
+  static constexpr uint32_t SegmentSizeLog2 = 10;
+  static constexpr uint32_t SegmentSize = 1u << SegmentSizeLog2;
+  static constexpr uint32_t NumSegments =
+      (MaxMonitorIndex + SegmentSize) / SegmentSize;
+
+  MonitorTable();
+  ~MonitorTable();
+
+  MonitorTable(const MonitorTable &) = delete;
+  MonitorTable &operator=(const MonitorTable &) = delete;
+
+  /// Creates a fresh FatLock and \returns its index (>= 1), or 0 if the
+  /// 23-bit index space is exhausted.  The monitor stays alive for the
+  /// table's lifetime: the paper's discipline is that an inflated lock
+  /// "remains inflated for the lifetime of the object", and even under
+  /// the deflation extension a retired monitor's index is never reused
+  /// (a stale fat word must keep resolving to the *retired* monitor so
+  /// its holder learns to retry).
+  uint32_t allocate();
+
+  /// \returns the monitor for \p Index.  Wait-free; asserts the index was
+  /// allocated.
+  FatLock *get(uint32_t Index) const;
+
+  /// \returns how many monitors have been allocated.
+  uint32_t liveMonitorCount() const {
+    return LiveCount.load(std::memory_order_relaxed);
+  }
+
+private:
+  using Segment = std::array<std::atomic<FatLock *>, SegmentSize>;
+
+  mutable std::mutex Mutex;
+  std::array<std::atomic<Segment *>, NumSegments> Segments;
+  std::vector<std::unique_ptr<FatLock>> Storage;
+  std::vector<std::unique_ptr<Segment>> SegmentStorage;
+  uint32_t NextIndex = 1;
+  std::atomic<uint32_t> LiveCount{0};
+};
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_FATLOCK_MONITORTABLE_H

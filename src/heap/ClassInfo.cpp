@@ -1,0 +1,32 @@
+//===- heap/ClassInfo.cpp - Runtime class descriptors ---------------------===//
+
+#include "heap/ClassInfo.h"
+
+#include <cassert>
+
+using namespace thinlocks;
+
+ClassRegistry::ClassRegistry() = default;
+
+const ClassInfo &ClassRegistry::registerClass(std::string Name,
+                                              uint32_t SlotCount) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  assert(Classes.size() <= MaxClassIndex && "class index space exhausted");
+  auto Info = std::make_unique<ClassInfo>();
+  Info->Index = static_cast<uint32_t>(Classes.size());
+  Info->Name = std::move(Name);
+  Info->SlotCount = SlotCount;
+  Classes.push_back(std::move(Info));
+  return *Classes.back();
+}
+
+const ClassInfo &ClassRegistry::classAt(uint32_t Index) const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  assert(Index < Classes.size() && "class index out of range");
+  return *Classes[Index];
+}
+
+uint32_t ClassRegistry::size() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return static_cast<uint32_t>(Classes.size());
+}

@@ -1,0 +1,50 @@
+//===- heap/Heap.cpp - Arena allocator for objects ------------------------===//
+
+#include "heap/Heap.h"
+
+#include "support/MathExtras.h"
+#include "support/SplitMix64.h"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+using namespace thinlocks;
+
+Heap::Heap(size_t BlockBytes) : BlockBytes(BlockBytes) {
+  assert(BlockBytes >= 4096 && "block size unreasonably small");
+}
+
+Heap::~Heap() = default;
+
+Object *Heap::allocate(const ClassInfo &Class) {
+  size_t Size = sizeof(Object) + sizeof(uint64_t) * Class.SlotCount;
+  Size = alignTo(Size, alignof(Object));
+
+  char *Memory = nullptr;
+  uint32_t Hash = 0;
+  {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    size_t Need = Size > BlockBytes ? Size : BlockBytes;
+    if (Blocks.empty() || Blocks.back().Used + Size > Blocks.back().Capacity) {
+      Block NewBlock;
+      NewBlock.Storage = std::make_unique<char[]>(Need);
+      NewBlock.Capacity = Need;
+      Blocks.push_back(std::move(NewBlock));
+    }
+    Block &Current = Blocks.back();
+    Memory = Current.Storage.get() + Current.Used;
+    Current.Used += Size;
+
+    SplitMix64 Rng(HashSeed);
+    Hash = static_cast<uint32_t>(Rng.next());
+    HashSeed = Rng.next();
+  }
+
+  Object *Obj = new (Memory) Object(Class.Index, Class.SlotCount, Hash);
+  std::memset(Obj->slots(), 0, sizeof(uint64_t) * Class.SlotCount);
+
+  AllocatedCount.fetch_add(1, std::memory_order_relaxed);
+  AllocatedBytes.fetch_add(Size, std::memory_order_relaxed);
+  return Obj;
+}

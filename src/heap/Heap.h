@@ -1,0 +1,76 @@
+//===- heap/Heap.h - Arena allocator for objects ---------------*- C++ -*-===//
+///
+/// \file
+/// A simple non-moving arena heap.  There is no garbage collector: the
+/// paper's JDK collector is stop-the-world (the lock word relies on the 8
+/// shared header bits only changing "when an object is moved", and the
+/// collector is not concurrent), so a non-moving arena preserves every
+/// invariant the locking code depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_HEAP_HEAP_H
+#define THINLOCKS_HEAP_HEAP_H
+
+#include "heap/ClassInfo.h"
+#include "heap/Object.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace thinlocks {
+
+/// Owns object storage and the class registry.  Allocation is
+/// thread-safe; objects live until the heap is destroyed.
+class Heap {
+public:
+  /// \param BlockBytes arena block size (rounded up to hold any object).
+  explicit Heap(size_t BlockBytes = 1u << 20);
+  ~Heap();
+
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  /// \returns the class registry backing this heap's objects.
+  ClassRegistry &classes() { return Registry; }
+  const ClassRegistry &classes() const { return Registry; }
+
+  /// Allocates an instance of \p Class with zeroed slots.
+  Object *allocate(const ClassInfo &Class);
+
+  /// \returns the class of \p Obj.
+  const ClassInfo &classOf(const Object &Obj) const {
+    return Registry.classAt(Obj.classIndex());
+  }
+
+  /// \returns total objects ever allocated (paper Table 1, "Objects").
+  uint64_t objectsAllocated() const {
+    return AllocatedCount.load(std::memory_order_relaxed);
+  }
+
+  /// \returns total bytes handed out to objects.
+  uint64_t bytesAllocated() const {
+    return AllocatedBytes.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Block {
+    std::unique_ptr<char[]> Storage;
+    size_t Used = 0;
+    size_t Capacity = 0;
+  };
+
+  std::mutex Mutex;
+  ClassRegistry Registry;
+  std::vector<Block> Blocks;
+  size_t BlockBytes;
+  std::atomic<uint64_t> AllocatedCount{0};
+  std::atomic<uint64_t> AllocatedBytes{0};
+  uint64_t HashSeed = 0x243f6a8885a308d3ull;
+};
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_HEAP_HEAP_H

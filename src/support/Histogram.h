@@ -1,0 +1,69 @@
+//===- support/Histogram.h - Fixed-bucket histogram ------------*- C++ -*-===//
+///
+/// \file
+/// Small histogram with a fixed number of buckets plus an overflow bucket.
+/// The lock-nesting characterization (paper Figure 3) buckets acquisitions
+/// as First / Second / Third / Fourth-or-deeper, which is exactly a
+/// 3-bucket histogram with overflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_SUPPORT_HISTOGRAM_H
+#define THINLOCKS_SUPPORT_HISTOGRAM_H
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace thinlocks {
+
+/// Counts values 0..NumBuckets-1 exactly; larger values land in the
+/// overflow bucket.
+template <size_t NumBuckets> class Histogram {
+  std::array<uint64_t, NumBuckets + 1> Counts{};
+
+public:
+  static constexpr size_t OverflowBucket = NumBuckets;
+
+  void record(uint64_t Value) {
+    if (Value < NumBuckets)
+      ++Counts[Value];
+    else
+      ++Counts[OverflowBucket];
+  }
+
+  /// \returns the count in bucket \p Index (use OverflowBucket for the
+  /// overflow bin).
+  uint64_t count(size_t Index) const {
+    assert(Index <= NumBuckets && "bucket out of range");
+    return Counts[Index];
+  }
+
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : Counts)
+      Sum += C;
+    return Sum;
+  }
+
+  /// \returns bucket \p Index as a fraction of all recorded values, or 0
+  /// if the histogram is empty.
+  double fraction(size_t Index) const {
+    uint64_t Sum = total();
+    if (Sum == 0)
+      return 0.0;
+    return static_cast<double>(count(Index)) / static_cast<double>(Sum);
+  }
+
+  void merge(const Histogram &Other) {
+    for (size_t I = 0; I <= NumBuckets; ++I)
+      Counts[I] += Other.Counts[I];
+  }
+
+  void reset() { Counts.fill(0); }
+};
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_SUPPORT_HISTOGRAM_H

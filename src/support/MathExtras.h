@@ -1,0 +1,62 @@
+//===- support/MathExtras.h - Bit and integer helpers ----------*- C++ -*-===//
+///
+/// \file
+/// Integer helpers used by the lock-word encoding, the chunked tables, and
+/// the workload generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_SUPPORT_MATHEXTRAS_H
+#define THINLOCKS_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace thinlocks {
+
+/// \returns true if \p Value is a power of two (zero is not).
+constexpr bool isPowerOf2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// \returns the smallest power of two that is >= \p Value (minimum 1).
+constexpr uint64_t nextPowerOf2(uint64_t Value) {
+  if (Value <= 1)
+    return 1;
+  uint64_t Result = 1;
+  while (Result < Value)
+    Result <<= 1;
+  return Result;
+}
+
+/// \returns \p Value rounded up to the next multiple of \p Align.
+/// \p Align must be a power of two.
+constexpr uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// \returns floor(log2(Value)); \p Value must be nonzero.
+constexpr unsigned log2Floor(uint64_t Value) {
+  unsigned Result = 0;
+  while (Value >>= 1)
+    ++Result;
+  return Result;
+}
+
+/// Extracts the bit field [Lo, Lo+Width) of \p Word.
+constexpr uint32_t extractBits(uint32_t Word, unsigned Lo, unsigned Width) {
+  assert(Lo + Width <= 32 && "bit field out of range");
+  if (Width == 32)
+    return Word >> Lo;
+  return (Word >> Lo) & ((1u << Width) - 1);
+}
+
+/// Saturating addition for statistics counters.
+constexpr uint64_t saturatingAdd(uint64_t A, uint64_t B) {
+  uint64_t Result = A + B;
+  return Result < A ? UINT64_MAX : Result;
+}
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_SUPPORT_MATHEXTRAS_H

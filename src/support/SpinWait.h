@@ -1,0 +1,79 @@
+//===- support/SpinWait.h - Bounded exponential backoff --------*- C++ -*-===//
+///
+/// \file
+/// Spin-wait policy used while a contending thread waits for a thin lock's
+/// owner to release it (paper §2.3.4).  The paper notes that "standard
+/// back-off techniques [Anderson 1990] for reducing the cost of
+/// spin-locking can be applied"; this class implements truncated
+/// exponential backoff.  Because the evaluation host (like the paper's
+/// RS/6000 43T) is a uniprocessor, the policy escalates quickly from CPU
+/// pause instructions to scheduler yields: spinning without yielding on a
+/// single CPU would deadlock against the lock owner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_SUPPORT_SPINWAIT_H
+#define THINLOCKS_SUPPORT_SPINWAIT_H
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace thinlocks {
+
+/// Executes one CPU-level pause; a hint to SMT siblings and the memory
+/// system that this is a spin loop.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  // Fallback: a compiler barrier so the loop is not collapsed.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Truncated exponential backoff.  Call spinOnce() each time the guarded
+/// condition is observed false.
+class SpinWait {
+  unsigned Round = 0;
+  uint64_t Spins = 0;
+  uint64_t Yields = 0;
+
+public:
+  /// Number of doubling rounds of pure pause-spinning before every further
+  /// round also yields the processor.
+  static constexpr unsigned YieldThresholdRound = 4;
+  /// Cap on the per-round pause count (truncation of the exponential).
+  static constexpr unsigned MaxPausesPerRound = 64;
+
+  /// Performs one backoff step.
+  void spinOnce() {
+    unsigned Pauses = 1u << (Round < 6 ? Round : 6);
+    if (Pauses > MaxPausesPerRound)
+      Pauses = MaxPausesPerRound;
+    for (unsigned I = 0; I < Pauses; ++I)
+      cpuRelax();
+    Spins += Pauses;
+    if (Round >= YieldThresholdRound) {
+      std::this_thread::yield();
+      ++Yields;
+    }
+    ++Round;
+  }
+
+  /// Resets the policy after a successful acquisition.
+  void reset() { Round = 0; }
+
+  /// \returns the total pause iterations executed (for tests/stats).
+  uint64_t totalSpins() const { return Spins; }
+
+  /// \returns the total scheduler yields executed (for tests/stats).
+  uint64_t totalYields() const { return Yields; }
+};
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_SUPPORT_SPINWAIT_H

@@ -1,0 +1,43 @@
+//===- support/StatsCounter.h - Relaxed atomic counters --------*- C++ -*-===//
+///
+/// \file
+/// Monotonic event counters safe to bump from any thread.  Counters use
+/// relaxed atomics: they never synchronize anything, they only count, so
+/// they must not perturb the memory-ordering behaviour under measurement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_SUPPORT_STATSCOUNTER_H
+#define THINLOCKS_SUPPORT_STATSCOUNTER_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace thinlocks {
+
+/// A monotonically increasing event counter.
+class StatsCounter {
+  std::atomic<uint64_t> Count{0};
+
+public:
+  StatsCounter() = default;
+  StatsCounter(const StatsCounter &Other)
+      : Count(Other.Count.load(std::memory_order_relaxed)) {}
+  StatsCounter &operator=(const StatsCounter &Other) {
+    Count.store(Other.Count.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
+  void increment(uint64_t Delta = 1) {
+    Count.fetch_add(Delta, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const { return Count.load(std::memory_order_relaxed); }
+
+  void reset() { Count.store(0, std::memory_order_relaxed); }
+};
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_SUPPORT_STATSCOUNTER_H

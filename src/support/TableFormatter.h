@@ -1,0 +1,58 @@
+//===- support/TableFormatter.h - Aligned text tables ----------*- C++ -*-===//
+///
+/// \file
+/// Produces column-aligned plain-text tables.  The benchmark harnesses use
+/// this to print rows in the same layout as the paper's Tables 1-2 and the
+/// series behind Figures 3-6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_SUPPORT_TABLEFORMATTER_H
+#define THINLOCKS_SUPPORT_TABLEFORMATTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace thinlocks {
+
+/// Accumulates rows of string cells and renders them with every column
+/// padded to its widest cell.
+class TableFormatter {
+public:
+  enum class Align { Left, Right };
+
+  /// Creates a table with the given column headers.
+  explicit TableFormatter(std::vector<std::string> Headers);
+
+  /// Sets the alignment of column \p Index (default: Right, except column
+  /// 0 which defaults to Left).
+  void setAlignment(size_t Index, Align A);
+
+  /// Appends one row; the row must have exactly as many cells as there are
+  /// headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the whole table, including the header and a separator under
+  /// it, as a single string ending in a newline.
+  std::string render() const;
+
+  /// Formats a double with \p Decimals digits after the point.
+  static std::string formatDouble(double Value, int Decimals = 2);
+
+  /// Formats an integer with thousands separators ("12,975,639").
+  static std::string formatWithCommas(uint64_t Value);
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<Align> Alignments;
+  // A row with no cells encodes a separator.
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_SUPPORT_TABLEFORMATTER_H

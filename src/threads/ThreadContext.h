@@ -1,0 +1,56 @@
+//===- threads/ThreadContext.h - Per-thread execution env ------*- C++ -*-===//
+///
+/// \file
+/// The per-thread "execution environment" of the paper (§2.3.1).  The
+/// locking fast path needs the current thread's 15-bit index *pre-shifted*
+/// 16 bits left so that composing a thin lock word is a single OR and the
+/// owner check is a single XOR; the paper stores this pre-shifted value in
+/// the execution environment structure, and so do we.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_THREADS_THREADCONTEXT_H
+#define THINLOCKS_THREADS_THREADCONTEXT_H
+
+#include <cstdint>
+
+namespace thinlocks {
+
+class ThreadRegistry;
+
+/// Identity of an attached thread, as seen by the locking subsystems.
+///
+/// A ThreadContext is produced by ThreadRegistry::attach() and must be
+/// returned via ThreadRegistry::detach() (or created through
+/// ScopedThreadAttachment, which does both).  It is cheap to copy but all
+/// copies share the one registry slot; detach once.
+class ThreadContext {
+  friend class ThreadRegistry;
+
+  ThreadRegistry *Registry = nullptr;
+  uint16_t Index = 0;
+  uint32_t Shifted = 0;
+
+public:
+  /// Creates an invalid (unattached) context; index() is 0, which is the
+  /// "unlocked" encoding and never a real thread.
+  ThreadContext() = default;
+
+  /// \returns true if this context denotes an attached thread.
+  bool isValid() const { return Index != 0; }
+
+  /// \returns the 15-bit thread index (1..32767); 0 means invalid.
+  uint16_t index() const { return Index; }
+
+  /// \returns the thread index shifted left 16 bits, ready to OR into a
+  /// lock word.
+  uint32_t shiftedIndex() const { return Shifted; }
+
+  /// \returns the registry this context is attached to; only meaningful
+  /// when isValid().
+  ThreadRegistry &registry() const { return *Registry; }
+};
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_THREADS_THREADCONTEXT_H

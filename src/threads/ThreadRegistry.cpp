@@ -1,0 +1,92 @@
+//===- threads/ThreadRegistry.cpp - 15-bit thread index table -------------===//
+
+#include "threads/ThreadRegistry.h"
+
+#include <cassert>
+
+using namespace thinlocks;
+
+namespace {
+thread_local ThreadContext CurrentThreadContext;
+} // namespace
+
+ThreadRegistry::ThreadRegistry()
+    : Slots(static_cast<size_t>(MaxThreadIndex) + 1) {
+  for (auto &Slot : Slots)
+    Slot.store(nullptr, std::memory_order_relaxed);
+  Storage.resize(Slots.size());
+}
+
+ThreadRegistry::~ThreadRegistry() {
+  assert(LiveCount.load(std::memory_order_relaxed) == 0 &&
+         "threads still attached at registry destruction");
+}
+
+ThreadContext ThreadRegistry::attach(std::string Name) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  uint16_t Index = 0;
+  if (!FreeIndices.empty()) {
+    Index = FreeIndices.back();
+    FreeIndices.pop_back();
+  } else if (NextFreshIndex <= MaxThreadIndex) {
+    Index = NextFreshIndex++;
+  } else {
+    return ThreadContext(); // Exhausted: 32767 live threads.
+  }
+
+  if (!Storage[Index])
+    Storage[Index] = std::make_unique<ThreadInfo>();
+  ThreadInfo *Info = Storage[Index].get();
+  Info->Index = Index;
+  Info->Name = std::move(Name);
+  Info->NativeId = std::this_thread::get_id();
+  Slots[Index].store(Info, std::memory_order_release);
+
+  uint32_t Live = LiveCount.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint32_t Peak = PeakCount.load(std::memory_order_relaxed);
+  while (Live > Peak &&
+         !PeakCount.compare_exchange_weak(Peak, Live,
+                                          std::memory_order_relaxed)) {
+  }
+
+  ThreadContext Ctx;
+  Ctx.Registry = this;
+  Ctx.Index = Index;
+  Ctx.Shifted = static_cast<uint32_t>(Index) << 16;
+  return Ctx;
+}
+
+void ThreadRegistry::detach(ThreadContext &Ctx) {
+  assert(Ctx.isValid() && "detaching an invalid context");
+  assert(Ctx.Registry == this && "context belongs to another registry");
+  std::lock_guard<std::mutex> Guard(Mutex);
+  assert(Slots[Ctx.Index].load(std::memory_order_relaxed) != nullptr &&
+         "double detach");
+  Slots[Ctx.Index].store(nullptr, std::memory_order_release);
+  FreeIndices.push_back(Ctx.Index);
+  LiveCount.fetch_sub(1, std::memory_order_relaxed);
+  Ctx = ThreadContext();
+}
+
+const ThreadInfo *ThreadRegistry::info(uint16_t Index) const {
+  if (Index == 0 || Index > MaxThreadIndex)
+    return nullptr;
+  return Slots[Index].load(std::memory_order_acquire);
+}
+
+ThreadContext ThreadRegistry::currentContext() {
+  return CurrentThreadContext;
+}
+
+ScopedThreadAttachment::ScopedThreadAttachment(ThreadRegistry &Registry,
+                                               std::string Name) {
+  Ctx = Registry.attach(std::move(Name));
+  SavedCurrent = CurrentThreadContext;
+  CurrentThreadContext = Ctx;
+}
+
+ScopedThreadAttachment::~ScopedThreadAttachment() {
+  CurrentThreadContext = SavedCurrent;
+  if (Ctx.isValid())
+    Ctx.registry().detach(Ctx);
+}

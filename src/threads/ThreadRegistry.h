@@ -1,0 +1,104 @@
+//===- threads/ThreadRegistry.h - 15-bit thread index table ----*- C++ -*-===//
+///
+/// \file
+/// The table that maps 15-bit thread indices to thread information (paper
+/// §2.3: "If the thread identifier is non-zero, it is an index into a
+/// table we maintain which maps thread indices to thread pointers").
+/// Index 0 is reserved: a thin lock word with thread index 0 is unlocked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_THREADS_THREADREGISTRY_H
+#define THINLOCKS_THREADS_THREADREGISTRY_H
+
+#include "threads/ThreadContext.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace thinlocks {
+
+/// Bookkeeping for one attached thread.
+struct ThreadInfo {
+  uint16_t Index = 0;
+  std::string Name;
+  std::thread::id NativeId;
+};
+
+/// Allocates and recycles 15-bit thread indices and owns the index->info
+/// table.  Lookups by index are lock-free; attach/detach take a mutex.
+class ThreadRegistry {
+public:
+  /// Largest usable index (index 0 is the reserved "unlocked" encoding).
+  static constexpr uint16_t MaxThreadIndex = (1u << 15) - 1;
+
+  ThreadRegistry();
+  ~ThreadRegistry();
+
+  ThreadRegistry(const ThreadRegistry &) = delete;
+  ThreadRegistry &operator=(const ThreadRegistry &) = delete;
+
+  /// Registers the calling thread and assigns it an index.  \returns an
+  /// invalid context (isValid() == false) if all 32767 indices are in use.
+  ThreadContext attach(std::string Name = std::string());
+
+  /// Releases \p Ctx's index for reuse and invalidates \p Ctx.  The caller
+  /// must not hold any lock owned under this identity.
+  void detach(ThreadContext &Ctx);
+
+  /// \returns the info for an attached index, or nullptr if \p Index is
+  /// not currently attached.  Safe to call concurrently with attach and
+  /// detach of *other* indices.
+  const ThreadInfo *info(uint16_t Index) const;
+
+  /// \returns the number of currently attached threads.
+  uint32_t liveThreadCount() const {
+    return LiveCount.load(std::memory_order_relaxed);
+  }
+
+  /// \returns the high-water mark of simultaneously attached threads.
+  uint32_t peakThreadCount() const {
+    return PeakCount.load(std::memory_order_relaxed);
+  }
+
+  /// \returns the context the calling thread most recently attached with
+  /// through this registry (thread-local), or an invalid context.
+  static ThreadContext currentContext();
+
+private:
+  mutable std::mutex Mutex;
+  // Slot I holds the info for index I while attached, nullptr otherwise.
+  std::vector<std::atomic<ThreadInfo *>> Slots;
+  std::vector<std::unique_ptr<ThreadInfo>> Storage;
+  std::vector<uint16_t> FreeIndices;
+  uint16_t NextFreshIndex = 1;
+  std::atomic<uint32_t> LiveCount{0};
+  std::atomic<uint32_t> PeakCount{0};
+};
+
+/// RAII attachment: attaches on construction, detaches on destruction, and
+/// publishes the context as ThreadRegistry::currentContext() for the
+/// duration.
+class ScopedThreadAttachment {
+  ThreadContext Ctx;
+  ThreadContext SavedCurrent;
+
+public:
+  explicit ScopedThreadAttachment(ThreadRegistry &Registry,
+                                  std::string Name = std::string());
+  ~ScopedThreadAttachment();
+
+  ScopedThreadAttachment(const ScopedThreadAttachment &) = delete;
+  ScopedThreadAttachment &operator=(const ScopedThreadAttachment &) = delete;
+
+  ThreadContext &context() { return Ctx; }
+  const ThreadContext &context() const { return Ctx; }
+};
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_THREADS_THREADREGISTRY_H

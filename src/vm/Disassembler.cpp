@@ -1,0 +1,107 @@
+//===- vm/Disassembler.cpp - Bytecode listings ----------------------------===//
+
+#include "vm/Disassembler.h"
+
+#include "vm/Klass.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+
+using namespace thinlocks;
+using namespace thinlocks::vm;
+
+namespace {
+
+/// Operand signature of an opcode, for formatting purposes.
+enum class OperandKind { None, Immediate, Local, LocalWithDelta, Branch,
+                         ClassIndex, FieldSlot, MethodId };
+
+OperandKind operandKindOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::Iconst:
+    return OperandKind::Immediate;
+  case Opcode::Iload:
+  case Opcode::Istore:
+  case Opcode::Aload:
+  case Opcode::Astore:
+    return OperandKind::Local;
+  case Opcode::Iinc:
+    return OperandKind::LocalWithDelta;
+  case Opcode::Goto:
+  case Opcode::IfIcmpLt:
+  case Opcode::IfIcmpGe:
+  case Opcode::IfIcmpEq:
+  case Opcode::IfIcmpNe:
+  case Opcode::Ifeq:
+  case Opcode::Ifne:
+  case Opcode::IfNull:
+  case Opcode::IfNonNull:
+    return OperandKind::Branch;
+  case Opcode::New:
+    return OperandKind::ClassIndex;
+  case Opcode::GetField:
+  case Opcode::PutField:
+    return OperandKind::FieldSlot;
+  case Opcode::Invoke:
+    return OperandKind::MethodId;
+  default:
+    return OperandKind::None;
+  }
+}
+
+} // namespace
+
+std::string vm::formatInstruction(const Instruction &Inst, uint32_t Pc) {
+  char Buffer[128];
+  const char *Name = opcodeName(Inst.Op);
+  switch (operandKindOf(Inst.Op)) {
+  case OperandKind::None:
+    std::snprintf(Buffer, sizeof(Buffer), "%4u: %s", Pc, Name);
+    break;
+  case OperandKind::Immediate:
+  case OperandKind::Local:
+  case OperandKind::Branch:
+  case OperandKind::ClassIndex:
+  case OperandKind::FieldSlot:
+  case OperandKind::MethodId:
+    std::snprintf(Buffer, sizeof(Buffer), "%4u: %s %d", Pc, Name, Inst.A);
+    break;
+  case OperandKind::LocalWithDelta:
+    std::snprintf(Buffer, sizeof(Buffer), "%4u: %s %d, %d", Pc, Name,
+                  Inst.A, Inst.B);
+    break;
+  }
+  return Buffer;
+}
+
+std::string vm::disassemble(const Method &M, const VM *Vm) {
+  std::string Out;
+  Out += M.Traits.IsStatic ? "static " : "";
+  Out += M.Traits.IsSynchronized ? "synchronized " : "";
+  Out += M.Traits.IsNative ? "native " : "";
+  Out += M.Owner ? M.Owner->name() + "." : std::string();
+  Out += M.Name;
+  char Header[96];
+  std::snprintf(Header, sizeof(Header), "  (args=%u, locals=%u, id=%u)\n",
+                M.NumArgs, M.NumLocals, M.Id);
+  Out += Header;
+
+  if (M.Traits.IsNative) {
+    Out += "  <native code>\n";
+    return Out;
+  }
+
+  for (uint32_t Pc = 0; Pc < M.Code.size(); ++Pc) {
+    const Instruction &Inst = M.Code[Pc];
+    Out += "  " + formatInstruction(Inst, Pc);
+    if (Inst.Op == Opcode::Invoke && Vm) {
+      if (const Method *Callee =
+              Vm->methodById(static_cast<uint32_t>(Inst.A)))
+        Out += "  // " + (Callee->Owner ? Callee->Owner->name() + "."
+                                        : std::string()) +
+               Callee->Name;
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- vm/Disassembler.h - Bytecode listings --------------------*- C++ -*-===//
+///
+/// \file
+/// Renders microjvm methods as javap-style listings, for debugging,
+/// examples, and golden tests of the assembler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_VM_DISASSEMBLER_H
+#define THINLOCKS_VM_DISASSEMBLER_H
+
+#include "vm/Method.h"
+
+#include <string>
+
+namespace thinlocks {
+namespace vm {
+
+class VM;
+
+/// Formats one instruction ("12: if_icmpge 20").
+std::string formatInstruction(const Instruction &Inst, uint32_t Pc);
+
+/// Renders \p M's whole body, one instruction per line, with a header
+/// describing flags, arity, and locals.  If \p Vm is non-null, invoke
+/// targets are annotated with the callee's name.
+std::string disassemble(const Method &M, const VM *Vm = nullptr);
+
+} // namespace vm
+} // namespace thinlocks
+
+#endif // THINLOCKS_VM_DISASSEMBLER_H

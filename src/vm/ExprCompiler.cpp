@@ -1,0 +1,388 @@
+//===- vm/ExprCompiler.cpp - Arithmetic expression compiler ---------------===//
+
+#include "vm/ExprCompiler.h"
+
+#include "vm/Assembler.h"
+#include "vm/Klass.h"
+#include "vm/VM.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdint>
+
+using namespace thinlocks;
+using namespace thinlocks::vm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class TokenKind : uint8_t {
+  Number,
+  Ident,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  LParen,
+  RParen,
+  End,
+  Bad,
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::End;
+  int32_t Value = 0;       // Number tokens.
+  std::string_view Text;   // Ident tokens.
+  size_t Pos = 0;
+};
+
+class Lexer {
+  std::string_view Source;
+  size_t Cursor = 0;
+
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  Token next() {
+    while (Cursor < Source.size() &&
+           std::isspace(static_cast<unsigned char>(Source[Cursor])))
+      ++Cursor;
+    Token Tok;
+    Tok.Pos = Cursor;
+    if (Cursor >= Source.size())
+      return Tok; // End.
+
+    char C = Source[Cursor];
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      // Parse with 64-bit accumulation so overflow is detectable.
+      int64_t Value = 0;
+      size_t Start = Cursor;
+      while (Cursor < Source.size() &&
+             std::isdigit(static_cast<unsigned char>(Source[Cursor]))) {
+        Value = Value * 10 + (Source[Cursor] - '0');
+        if (Value > INT32_MAX) {
+          Tok.Kind = TokenKind::Bad;
+          Tok.Pos = Start;
+          return Tok;
+        }
+        ++Cursor;
+      }
+      Tok.Kind = TokenKind::Number;
+      Tok.Value = static_cast<int32_t>(Value);
+      return Tok;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Cursor;
+      while (Cursor < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Source[Cursor])) ||
+              Source[Cursor] == '_'))
+        ++Cursor;
+      Tok.Kind = TokenKind::Ident;
+      Tok.Text = Source.substr(Start, Cursor - Start);
+      return Tok;
+    }
+    ++Cursor;
+    switch (C) {
+    case '+':
+      Tok.Kind = TokenKind::Plus;
+      break;
+    case '-':
+      Tok.Kind = TokenKind::Minus;
+      break;
+    case '*':
+      Tok.Kind = TokenKind::Star;
+      break;
+    case '/':
+      Tok.Kind = TokenKind::Slash;
+      break;
+    case '%':
+      Tok.Kind = TokenKind::Percent;
+      break;
+    case '(':
+      Tok.Kind = TokenKind::LParen;
+      break;
+    case ')':
+      Tok.Kind = TokenKind::RParen;
+      break;
+    default:
+      Tok.Kind = TokenKind::Bad;
+      break;
+    }
+    return Tok;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Parser / code generator
+//===----------------------------------------------------------------------===//
+
+// Java int wrap-around arithmetic for the constant folder.
+int32_t wrapAdd(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) +
+                              static_cast<uint32_t>(B));
+}
+int32_t wrapSub(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) -
+                              static_cast<uint32_t>(B));
+}
+int32_t wrapMul(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) *
+                              static_cast<uint32_t>(B));
+}
+
+/// A parsed subexpression: either a compile-time literal (not yet
+/// emitted) or a value already materialized on the operand stack.
+struct Operand {
+  bool IsLiteral = false;
+  int32_t Literal = 0;
+};
+
+class Parser {
+  Lexer Lex;
+  Token Current;
+  const std::vector<std::string> &Params;
+  Assembler &Asm;
+  std::string Error;
+  size_t ErrorPos = 0;
+
+public:
+  Parser(std::string_view Source, const std::vector<std::string> &Params,
+         Assembler &Asm)
+      : Lex(Source), Params(Params), Asm(Asm) {
+    Current = Lex.next();
+  }
+
+  bool failed() const { return !Error.empty(); }
+  const std::string &error() const { return Error; }
+  size_t errorPos() const { return ErrorPos; }
+
+  /// Parses the whole source; on success the result value has been
+  /// materialized on the stack.
+  bool run() {
+    Operand Value = parseExpr();
+    if (failed())
+      return false;
+    if (Current.Kind != TokenKind::End) {
+      fail("unexpected input after expression");
+      return false;
+    }
+    materialize(Value);
+    return true;
+  }
+
+private:
+  void fail(std::string Message) {
+    if (Error.empty()) {
+      Error = std::move(Message);
+      ErrorPos = Current.Pos;
+    }
+  }
+
+  void advance() { Current = Lex.next(); }
+
+  /// Emits a pending literal onto the operand stack.
+  void materialize(const Operand &Value) {
+    if (Value.IsLiteral)
+      Asm.iconst(Value.Literal);
+  }
+
+  Operand emitted() { return Operand{}; }
+
+  Operand binary(TokenKind Op, Operand Lhs, Operand Rhs) {
+    // Constant folding: both literal, and not a division/modulo by a
+    // literal zero (those must trap at run time).
+    if (Lhs.IsLiteral && Rhs.IsLiteral) {
+      bool ZeroDivide = (Op == TokenKind::Slash || Op == TokenKind::Percent) &&
+                        Rhs.Literal == 0;
+      if (!ZeroDivide) {
+        int32_t Folded = 0;
+        switch (Op) {
+        case TokenKind::Plus:
+          Folded = wrapAdd(Lhs.Literal, Rhs.Literal);
+          break;
+        case TokenKind::Minus:
+          Folded = wrapSub(Lhs.Literal, Rhs.Literal);
+          break;
+        case TokenKind::Star:
+          Folded = wrapMul(Lhs.Literal, Rhs.Literal);
+          break;
+        case TokenKind::Slash:
+          Folded = (Lhs.Literal == INT32_MIN && Rhs.Literal == -1)
+                       ? INT32_MIN
+                       : Lhs.Literal / Rhs.Literal;
+          break;
+        case TokenKind::Percent:
+          Folded = (Lhs.Literal == INT32_MIN && Rhs.Literal == -1)
+                       ? 0
+                       : Lhs.Literal % Rhs.Literal;
+          break;
+        default:
+          assert(false && "not a binary operator");
+        }
+        return Operand{true, Folded};
+      }
+    }
+    // Emit.  Invariants from the parse loops: an emitted LHS is already
+    // on the stack beneath the RHS.  A still-literal LHS only reaches
+    // here in the division-by-literal-zero case (both literal, folding
+    // declined), so push it first, then the RHS.
+    if (Lhs.IsLiteral)
+      Asm.iconst(Lhs.Literal);
+    materialize(Rhs);
+    switch (Op) {
+    case TokenKind::Plus:
+      Asm.iadd();
+      break;
+    case TokenKind::Minus:
+      Asm.isub();
+      break;
+    case TokenKind::Star:
+      Asm.imul();
+      break;
+    case TokenKind::Slash:
+      Asm.idiv();
+      break;
+    case TokenKind::Percent:
+      Asm.irem();
+      break;
+    default:
+      assert(false && "not a binary operator");
+    }
+    return emitted();
+  }
+
+  // Both binary loops share one deferred-literal scheme: while the LHS
+  // is still a compile-time literal it stays *unpushed* so that a
+  // literal RHS can fold.  If the RHS turns out to need code, its value
+  // is now on the stack alone; pushing the literal LHS and swapping
+  // restores operand order (any parse that returns "emitted" leaves its
+  // complete value on the stack).
+  Operand parseBinaryRhs(Operand &Lhs, Operand (Parser::*ParseRhs)()) {
+    Operand Rhs;
+    if (Lhs.IsLiteral) {
+      Rhs = (this->*ParseRhs)();
+      if (failed())
+        return emitted();
+      if (!Rhs.IsLiteral) {
+        Asm.iconst(Lhs.Literal);
+        Asm.swap();
+        Lhs = emitted();
+      }
+    } else {
+      Rhs = (this->*ParseRhs)();
+      if (failed())
+        return emitted();
+    }
+    return Rhs;
+  }
+
+  Operand parseExpr() {
+    Operand Lhs = parseTerm();
+    while (!failed() && (Current.Kind == TokenKind::Plus ||
+                         Current.Kind == TokenKind::Minus)) {
+      TokenKind Op = Current.Kind;
+      advance();
+      Operand Rhs = parseBinaryRhs(Lhs, &Parser::parseTerm);
+      if (failed())
+        return emitted();
+      Lhs = binary(Op, Lhs, Rhs);
+    }
+    return Lhs;
+  }
+
+  Operand parseTerm() {
+    Operand Lhs = parseUnary();
+    while (!failed() && (Current.Kind == TokenKind::Star ||
+                         Current.Kind == TokenKind::Slash ||
+                         Current.Kind == TokenKind::Percent)) {
+      TokenKind Op = Current.Kind;
+      advance();
+      Operand Rhs = parseBinaryRhs(Lhs, &Parser::parseUnary);
+      if (failed())
+        return emitted();
+      Lhs = binary(Op, Lhs, Rhs);
+    }
+    return Lhs;
+  }
+
+  Operand parseUnary() {
+    if (Current.Kind == TokenKind::Minus) {
+      advance();
+      Operand Value = parseUnary();
+      if (failed())
+        return emitted();
+      if (Value.IsLiteral)
+        return Operand{true, wrapSub(0, Value.Literal)};
+      Asm.ineg();
+      return emitted();
+    }
+    return parsePrimary();
+  }
+
+  Operand parsePrimary() {
+    switch (Current.Kind) {
+    case TokenKind::Number: {
+      Operand Value{true, Current.Value};
+      advance();
+      return Value;
+    }
+    case TokenKind::Ident: {
+      for (size_t I = 0; I < Params.size(); ++I) {
+        if (Params[I] == Current.Text) {
+          advance();
+          Asm.iload(static_cast<int32_t>(I));
+          return emitted();
+        }
+      }
+      fail("unknown parameter '" + std::string(Current.Text) + "'");
+      return emitted();
+    }
+    case TokenKind::LParen: {
+      advance();
+      Operand Value = parseExpr();
+      if (failed())
+        return emitted();
+      if (Current.Kind != TokenKind::RParen) {
+        fail("expected ')'");
+        return emitted();
+      }
+      advance();
+      return Value;
+    }
+    case TokenKind::Bad:
+      fail("unrecognized character or numeric literal out of range");
+      return emitted();
+    case TokenKind::End:
+      fail("unexpected end of expression");
+      return emitted();
+    default:
+      fail("expected a number, parameter, or '('");
+      return emitted();
+    }
+  }
+};
+
+} // namespace
+
+ExprCompiler::Result ExprCompiler::compile(
+    std::string_view Source, const std::vector<std::string> &Params,
+    std::string MethodName) {
+  Result Out;
+  Assembler Asm;
+  Parser P(Source, Params, Asm);
+  if (!P.run()) {
+    Out.Error = P.error();
+    Out.ErrorPos = P.errorPos();
+    return Out;
+  }
+  Asm.iret();
+  Out.M = &Vm.defineMethod(Owner, std::move(MethodName), MethodTraits{},
+                           static_cast<uint16_t>(Params.size()),
+                           static_cast<uint16_t>(Params.size()),
+                           Asm.finish());
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- vm/ExprCompiler.h - Arithmetic expression compiler ------*- C++ -*-===//
+///
+/// \file
+/// A small front end for the microjvm: compiles integer arithmetic
+/// expressions over named parameters into bytecode methods.
+///
+///   expr    := term  (('+' | '-') term)*
+///   term    := unary (('*' | '/' | '%') unary)*
+///   unary   := '-' unary | primary
+///   primary := NUMBER | IDENT | '(' expr ')'
+///
+/// Compilation is single-pass recursive descent straight onto the
+/// operand stack (the grammar *is* the stack discipline), with literal
+/// constant folding: any subexpression whose operands are literals is
+/// evaluated at compile time with Java int semantics (wrap-around;
+/// folding is skipped for division by a literal zero so the runtime
+/// ArithmeticException is preserved).
+///
+/// Emitted methods pass the static Verifier and run on the Interpreter;
+/// the exprcompiler tests fuzz randomly generated expressions against a
+/// host-side evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_VM_EXPRCOMPILER_H
+#define THINLOCKS_VM_EXPRCOMPILER_H
+
+#include "vm/Method.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace thinlocks {
+namespace vm {
+
+class Klass;
+class VM;
+
+/// Compiles expressions into methods of one owner class.
+class ExprCompiler {
+public:
+  /// Outcome of one compilation.
+  struct Result {
+    /// The compiled method (takes the parameters as int arguments, in
+    /// declaration order), or nullptr on error.
+    const Method *M = nullptr;
+    /// Human-readable error when M is null.
+    std::string Error;
+    /// Byte offset into the source where the error was detected.
+    size_t ErrorPos = 0;
+
+    bool ok() const { return M != nullptr; }
+  };
+
+  ExprCompiler(VM &Vm, Klass &Owner) : Vm(Vm), Owner(Owner) {}
+
+  /// Compiles \p Source over int parameters named \p Params.
+  /// \p MethodName names the defined method (unique names not required).
+  Result compile(std::string_view Source,
+                 const std::vector<std::string> &Params,
+                 std::string MethodName = "expr");
+
+private:
+  VM &Vm;
+  Klass &Owner;
+};
+
+} // namespace vm
+} // namespace thinlocks
+
+#endif // THINLOCKS_VM_EXPRCOMPILER_H

@@ -1,0 +1,80 @@
+//===- vm/Method.h - microjvm methods and traps ----------------*- C++ -*-===//
+///
+/// \file
+/// Method metadata for the microjvm.  Methods are either bytecode
+/// (a Code vector run by the Interpreter) or native (a C++ callable).
+/// `synchronized` methods lock their receiver — or their class object
+/// when static — on entry and unlock on every exit, exactly the behaviour
+/// whose cost the paper's CallSync/NestedCallSync micro-benchmarks
+/// measure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_VM_METHOD_H
+#define THINLOCKS_VM_METHOD_H
+
+#include "vm/Bytecode.h"
+#include "vm/Value.h"
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace thinlocks {
+
+class ThreadContext;
+
+namespace vm {
+
+class Klass;
+class VM;
+
+/// Abnormal interpreter termination reasons (the microjvm has no
+/// exception handling; a trap unwinds the whole activation).
+enum class Trap : uint8_t {
+  None,
+  NullPointer,
+  DivideByZero,
+  IllegalMonitorState,
+  StackOverflow,
+  UnknownMethod,
+  BadBytecode,
+  IndexOutOfBounds,
+};
+
+/// \returns a printable name for \p T.
+const char *trapName(Trap T);
+
+/// Signature of a native method body.  \p Args holds the receiver (for
+/// instance methods) followed by declared arguments; \p Result receives
+/// the return value when the trap is Trap::None.
+using NativeFn = std::function<Trap(VM &Vm, const ThreadContext &Thread,
+                                    std::span<Value> Args, Value &Result)>;
+
+/// Method access and dispatch flags.
+struct MethodTraits {
+  bool IsSynchronized = false;
+  bool IsStatic = false;
+  bool IsNative = false;
+};
+
+/// One microjvm method.
+struct Method {
+  uint32_t Id = 0;
+  std::string Name;
+  Klass *Owner = nullptr;
+  MethodTraits Traits;
+  /// Argument count, *including* the receiver for instance methods.
+  uint16_t NumArgs = 0;
+  /// Local variable slots (>= NumArgs; args occupy the first slots).
+  uint16_t NumLocals = 0;
+  std::vector<Instruction> Code;
+  NativeFn Native;
+};
+
+} // namespace vm
+} // namespace thinlocks
+
+#endif // THINLOCKS_VM_METHOD_H

@@ -1,0 +1,250 @@
+//===- vm/NativeLibrary.cpp - Thread-safe library classes -----------------===//
+
+#include "vm/NativeLibrary.h"
+
+#include <cassert>
+#include <thread>
+
+using namespace thinlocks;
+using namespace thinlocks::vm;
+
+NativeLibrary::NativeLibrary(VM &Vm) {
+  installVector(Vm);
+  installHashtable(Vm);
+  installBitSet(Vm);
+  installStringBuffer(Vm);
+  installThread(Vm);
+}
+
+template <typename MapT>
+static auto &fetchData(std::mutex &MapMutex, MapT &Map, const Object *Obj) {
+  std::lock_guard<std::mutex> Guard(MapMutex);
+  auto It = Map.find(Obj);
+  if (It == Map.end())
+    It = Map.emplace(Obj, std::make_unique<
+                              typename MapT::mapped_type::element_type>())
+             .first;
+  return *It->second;
+}
+
+NativeLibrary::VectorData &NativeLibrary::vectorData(const Object *Obj) {
+  return fetchData(MapMutex, Vectors, Obj);
+}
+NativeLibrary::HashtableData &
+NativeLibrary::hashtableData(const Object *Obj) {
+  return fetchData(MapMutex, Hashtables, Obj);
+}
+NativeLibrary::BitSetData &NativeLibrary::bitSetData(const Object *Obj) {
+  return fetchData(MapMutex, BitSets, Obj);
+}
+NativeLibrary::StringBufferData &
+NativeLibrary::stringBufferData(const Object *Obj) {
+  return fetchData(MapMutex, StringBuffers, Obj);
+}
+
+void NativeLibrary::installVector(VM &Vm) {
+  VectorKlass = &Vm.defineClass("java/util/Vector", {});
+  MethodTraits Sync;
+  Sync.IsSynchronized = true;
+
+  VecAdd = &Vm.defineNativeMethod(
+      *VectorKlass, "addElement", Sync, /*NumArgs=*/2,
+      /*ReturnsValue=*/false,
+      [this](VM &, const ThreadContext &, std::span<Value> Args,
+             Value &) -> Trap {
+        vectorData(Args[0].asRef()).Elements.push_back(Args[1]);
+        return Trap::None;
+      });
+
+  VecAt = &Vm.defineNativeMethod(
+      *VectorKlass, "elementAt", Sync, /*NumArgs=*/2,
+      /*ReturnsValue=*/true,
+      [this](VM &, const ThreadContext &, std::span<Value> Args,
+             Value &Result) -> Trap {
+        if (!Args[1].isInt())
+          return Trap::BadBytecode;
+        VectorData &Data = vectorData(Args[0].asRef());
+        int32_t Index = Args[1].asInt();
+        if (Index < 0 ||
+            static_cast<size_t>(Index) >= Data.Elements.size())
+          return Trap::IndexOutOfBounds;
+        Result = Data.Elements[Index];
+        return Trap::None;
+      });
+
+  VecSize = &Vm.defineNativeMethod(
+      *VectorKlass, "size", Sync, /*NumArgs=*/1, /*ReturnsValue=*/true,
+      [this](VM &, const ThreadContext &, std::span<Value> Args,
+             Value &Result) -> Trap {
+        Result = Value::makeInt(static_cast<int32_t>(
+            vectorData(Args[0].asRef()).Elements.size()));
+        return Trap::None;
+      });
+
+  VecClear = &Vm.defineNativeMethod(
+      *VectorKlass, "removeAllElements", Sync, /*NumArgs=*/1,
+      /*ReturnsValue=*/false,
+      [this](VM &, const ThreadContext &, std::span<Value> Args,
+             Value &) -> Trap {
+        vectorData(Args[0].asRef()).Elements.clear();
+        return Trap::None;
+      });
+}
+
+void NativeLibrary::installHashtable(VM &Vm) {
+  HashtableKlass = &Vm.defineClass("java/util/Hashtable", {});
+  MethodTraits Sync;
+  Sync.IsSynchronized = true;
+
+  HashPut = &Vm.defineNativeMethod(
+      *HashtableKlass, "put", Sync, /*NumArgs=*/3, /*ReturnsValue=*/true,
+      [this](VM &, const ThreadContext &, std::span<Value> Args,
+             Value &Result) -> Trap {
+        if (!Args[1].isInt())
+          return Trap::BadBytecode;
+        HashtableData &Data = hashtableData(Args[0].asRef());
+        auto It = Data.Entries.find(Args[1].asInt());
+        Result = It == Data.Entries.end() ? Value::null() : It->second;
+        Data.Entries[Args[1].asInt()] = Args[2];
+        return Trap::None;
+      });
+
+  HashGet = &Vm.defineNativeMethod(
+      *HashtableKlass, "get", Sync, /*NumArgs=*/2, /*ReturnsValue=*/true,
+      [this](VM &, const ThreadContext &, std::span<Value> Args,
+             Value &Result) -> Trap {
+        if (!Args[1].isInt())
+          return Trap::BadBytecode;
+        HashtableData &Data = hashtableData(Args[0].asRef());
+        auto It = Data.Entries.find(Args[1].asInt());
+        Result = It == Data.Entries.end() ? Value::null() : It->second;
+        return Trap::None;
+      });
+
+  HashSize = &Vm.defineNativeMethod(
+      *HashtableKlass, "size", Sync, /*NumArgs=*/1, /*ReturnsValue=*/true,
+      [this](VM &, const ThreadContext &, std::span<Value> Args,
+             Value &Result) -> Trap {
+        Result = Value::makeInt(static_cast<int32_t>(
+            hashtableData(Args[0].asRef()).Entries.size()));
+        return Trap::None;
+      });
+
+  HashHas = &Vm.defineNativeMethod(
+      *HashtableKlass, "containsKey", Sync, /*NumArgs=*/2,
+      /*ReturnsValue=*/true,
+      [this](VM &, const ThreadContext &, std::span<Value> Args,
+             Value &Result) -> Trap {
+        if (!Args[1].isInt())
+          return Trap::BadBytecode;
+        HashtableData &Data = hashtableData(Args[0].asRef());
+        Result = Value::makeInt(
+            Data.Entries.count(Args[1].asInt()) != 0 ? 1 : 0);
+        return Trap::None;
+      });
+}
+
+void NativeLibrary::installBitSet(VM &Vm) {
+  BitSetKlass = &Vm.defineClass("java/util/BitSet", {});
+  MethodTraits Sync;
+  Sync.IsSynchronized = true;
+  MethodTraits Plain;
+
+  auto WordIndex = [](int32_t Bit) { return static_cast<size_t>(Bit) / 64; };
+  auto BitMask = [](int32_t Bit) {
+    return uint64_t(1) << (static_cast<uint32_t>(Bit) % 64);
+  };
+
+  BitsSet = &Vm.defineNativeMethod(
+      *BitSetKlass, "set", Sync, /*NumArgs=*/2, /*ReturnsValue=*/false,
+      [this, WordIndex, BitMask](VM &, const ThreadContext &,
+                                 std::span<Value> Args, Value &) -> Trap {
+        if (!Args[1].isInt() || Args[1].asInt() < 0)
+          return Trap::IndexOutOfBounds;
+        BitSetData &Data = bitSetData(Args[0].asRef());
+        size_t Word = WordIndex(Args[1].asInt());
+        if (Word >= Data.Words.size())
+          Data.Words.resize(Word + 1, 0);
+        Data.Words[Word] |= BitMask(Args[1].asInt());
+        return Trap::None;
+      });
+
+  BitsClear = &Vm.defineNativeMethod(
+      *BitSetKlass, "clear", Sync, /*NumArgs=*/2, /*ReturnsValue=*/false,
+      [this, WordIndex, BitMask](VM &, const ThreadContext &,
+                                 std::span<Value> Args, Value &) -> Trap {
+        if (!Args[1].isInt() || Args[1].asInt() < 0)
+          return Trap::IndexOutOfBounds;
+        BitSetData &Data = bitSetData(Args[0].asRef());
+        size_t Word = WordIndex(Args[1].asInt());
+        if (Word < Data.Words.size())
+          Data.Words[Word] &= ~BitMask(Args[1].asInt());
+        return Trap::None;
+      });
+
+  // The jax pattern (§3.4): get() is NOT a synchronized method, but after
+  // its argument checks it enters a synchronized block on `this`.
+  BitsGet = &Vm.defineNativeMethod(
+      *BitSetKlass, "get", Plain, /*NumArgs=*/2, /*ReturnsValue=*/true,
+      [this, WordIndex, BitMask](VM &Vm, const ThreadContext &Thread,
+                                 std::span<Value> Args,
+                                 Value &Result) -> Trap {
+        if (!Args[1].isInt() || Args[1].asInt() < 0)
+          return Trap::IndexOutOfBounds;
+        Object *Self = Args[0].asRef();
+        if (!Self)
+          return Trap::NullPointer;
+        Vm.sync().lock(Self, Thread);
+        BitSetData &Data = bitSetData(Self);
+        size_t Word = WordIndex(Args[1].asInt());
+        bool Bit = Word < Data.Words.size() &&
+                   (Data.Words[Word] & BitMask(Args[1].asInt())) != 0;
+        bool Unlocked = Vm.sync().unlockChecked(Self, Thread);
+        assert(Unlocked && "BitSet.get's synchronized block unbalanced");
+        (void)Unlocked;
+        Result = Value::makeInt(Bit ? 1 : 0);
+        return Trap::None;
+      });
+}
+
+void NativeLibrary::installStringBuffer(VM &Vm) {
+  StringBufferKlass = &Vm.defineClass("java/lang/StringBuffer", {});
+  MethodTraits Sync;
+  Sync.IsSynchronized = true;
+
+  SbAppend = &Vm.defineNativeMethod(
+      *StringBufferKlass, "append", Sync, /*NumArgs=*/2,
+      /*ReturnsValue=*/true,
+      [this](VM &, const ThreadContext &, std::span<Value> Args,
+             Value &Result) -> Trap {
+        if (!Args[1].isInt())
+          return Trap::BadBytecode;
+        stringBufferData(Args[0].asRef()).Chars.push_back(Args[1].asInt());
+        Result = Args[0]; // append returns this, as in Java.
+        return Trap::None;
+      });
+
+  SbLength = &Vm.defineNativeMethod(
+      *StringBufferKlass, "length", Sync, /*NumArgs=*/1,
+      /*ReturnsValue=*/true,
+      [this](VM &, const ThreadContext &, std::span<Value> Args,
+             Value &Result) -> Trap {
+        Result = Value::makeInt(static_cast<int32_t>(
+            stringBufferData(Args[0].asRef()).Chars.size()));
+        return Trap::None;
+      });
+}
+
+void NativeLibrary::installThread(VM &Vm) {
+  ThreadKlass = &Vm.defineClass("java/lang/Thread", {});
+  MethodTraits StaticPlain;
+  StaticPlain.IsStatic = true;
+
+  Yield = &Vm.defineNativeMethod(
+      *ThreadKlass, "yield", StaticPlain, /*NumArgs=*/0,
+      /*ReturnsValue=*/false,
+      [](VM &, const ThreadContext &, std::span<Value>, Value &) -> Trap {
+        std::this_thread::yield();
+        return Trap::None;
+      });
+}

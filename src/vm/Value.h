@@ -1,0 +1,83 @@
+//===- vm/Value.h - microjvm tagged values ---------------------*- C++ -*-===//
+///
+/// \file
+/// The interpreter's tagged value: a 32-bit int or an object reference.
+/// Object field slots are raw 64-bit words; Values encode into them using
+/// the field's declared kind, so the heap layer stays type-agnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_VM_VALUE_H
+#define THINLOCKS_VM_VALUE_H
+
+#include "heap/Object.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace thinlocks {
+namespace vm {
+
+/// Declared type of a field or value.
+enum class ValueKind : uint8_t { Int, Ref };
+
+/// A tagged int-or-reference.
+class Value {
+  ValueKind Kind;
+  union {
+    int32_t Int;
+    Object *Ref;
+  };
+
+public:
+  /// Default: int 0.
+  Value() : Kind(ValueKind::Int), Int(0) {}
+
+  static Value makeInt(int32_t V) {
+    Value Result;
+    Result.Kind = ValueKind::Int;
+    Result.Int = V;
+    return Result;
+  }
+
+  static Value makeRef(Object *O) {
+    Value Result;
+    Result.Kind = ValueKind::Ref;
+    Result.Ref = O;
+    return Result;
+  }
+
+  static Value null() { return makeRef(nullptr); }
+
+  bool isInt() const { return Kind == ValueKind::Int; }
+  bool isRef() const { return Kind == ValueKind::Ref; }
+
+  int32_t asInt() const {
+    assert(isInt() && "value is not an int");
+    return Int;
+  }
+
+  Object *asRef() const {
+    assert(isRef() && "value is not a reference");
+    return Ref;
+  }
+
+  /// Encodes into a raw object field slot of kind \p K.
+  uint64_t encode(ValueKind K) const {
+    if (K == ValueKind::Int)
+      return static_cast<uint64_t>(static_cast<uint32_t>(asInt()));
+    return reinterpret_cast<uint64_t>(asRef());
+  }
+
+  /// Decodes from a raw object field slot of kind \p K.
+  static Value decode(uint64_t Raw, ValueKind K) {
+    if (K == ValueKind::Int)
+      return makeInt(static_cast<int32_t>(static_cast<uint32_t>(Raw)));
+    return makeRef(reinterpret_cast<Object *>(Raw));
+  }
+};
+
+} // namespace vm
+} // namespace thinlocks
+
+#endif // THINLOCKS_VM_VALUE_H

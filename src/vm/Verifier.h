@@ -1,0 +1,69 @@
+//===- vm/Verifier.h - Static bytecode verification -------------*- C++ -*-===//
+///
+/// \file
+/// A static verifier for microjvm bytecode, in the spirit of the JVM
+/// specification's verifier.  It runs a standard abstract-interpretation
+/// dataflow over each method and rejects:
+///
+///  - operand stack underflow and inconsistent stack depths at merges,
+///  - statically visible type confusion (int vs reference),
+///  - out-of-range locals, branch targets, class and method ids,
+///  - falling off the end of the code,
+///  - and — most relevant to this library — *unbalanced structured
+///    locking*: every path from a monitorenter must pass a matching
+///    monitorexit before returning, and merge points must agree on the
+///    monitor nesting depth.  This is the static counterpart of the
+///    IllegalMonitorStateException the interpreter raises dynamically,
+///    and it is what lets a JVM trust the compiler's synchronized()
+///    blocks to preserve the thin-lock owner discipline.
+///
+/// The verifier is deliberately *best-effort about values it cannot see*
+/// (untyped method arguments, field slots): those uses verify as Unknown
+/// and stay dynamically checked by the interpreter, exactly as the
+/// microjvm's trap machinery already does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_VM_VERIFIER_H
+#define THINLOCKS_VM_VERIFIER_H
+
+#include "vm/Method.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace thinlocks {
+namespace vm {
+
+class VM;
+
+/// A verification failure: where and why.
+struct VerifyError {
+  uint32_t Pc = 0;
+  std::string Message;
+};
+
+/// Verifies bytecode methods against a VM's class/method tables.
+class Verifier {
+  const VM &Vm;
+  /// Upper bound on tracked operand-stack depth (sanity limit).
+  uint32_t MaxStackDepth;
+
+public:
+  explicit Verifier(const VM &Vm, uint32_t MaxStackDepth = 256);
+
+  /// Verifies \p M.  \returns std::nullopt on success, or the first
+  /// error found.  Native methods trivially verify.
+  std::optional<VerifyError> verify(const Method &M) const;
+
+  /// Verifies every bytecode method defined in \p Vm so far.
+  /// \returns the first failure, tagging the message with the method
+  /// name, or std::nullopt.
+  std::optional<VerifyError> verifyAll() const;
+};
+
+} // namespace vm
+} // namespace thinlocks
+
+#endif // THINLOCKS_VM_VERIFIER_H

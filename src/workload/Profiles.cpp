@@ -1,0 +1,143 @@
+//===- workload/Profiles.cpp - Macro-benchmark profiles -------------------===//
+//
+// Data source: Table 1 and Figure 3 of the paper.  The available text of
+// the paper is an OCR with damaged table layout, so:
+//  - every (SynchronizedObjects, SyncOperations, Syncs/S.Obj) triple below
+//    is a legible, self-consistent row of Table 1 (ratio = syncs/objects
+//    holds to OCR precision);
+//  - the row->program assignment follows the table's program order and the
+//    paper's prose anchors (jax performs ~19M synchronizations through
+//    BitSet.get; javalex ~2M synchronized calls dominated by
+//    Vector.elementAt; javac ships entirely as library bytecode);
+//  - cells marked "(reconstructed)" were illegible and are estimates
+//    consistent with the paper's aggregate statements: objects
+//    synchronized are "generally less than a tenth of the total number of
+//    objects created", the median Syncs/S.Obj is 22.7, the median
+//    first-lock fraction is 80% with a minimum of 45%, and no benchmark
+//    locks deeper than four.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Profiles.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace thinlocks;
+using namespace thinlocks::workload;
+
+namespace {
+
+// Shorthand: {first, second, third, fourth} fractions for Figure 3.
+constexpr BenchmarkProfile makeProfile(const char *Name, const char *Desc,
+                                       uint32_t App, uint32_t Lib,
+                                       uint64_t Objects, uint64_t SyncObjs,
+                                       uint64_t Syncs, double First,
+                                       double Second, double Third,
+                                       double Fourth, double LibFrac) {
+  return BenchmarkProfile{Name,  Desc,  App,
+                          Lib,   Objects, SyncObjs,
+                          Syncs, {First, Second, Third, Fourth},
+                          LibFrac};
+}
+
+const std::vector<BenchmarkProfile> &profiles() {
+  static const std::vector<BenchmarkProfile> Profiles = {
+      makeProfile("trans", "High Performance Java Compiler (IBM)", 124751,
+                  159747, 486215, 49313, 873911, 0.62, 0.30, 0.06, 0.02,
+                  0.40),
+      makeProfile("javac", "Java source to bytecode compiler (Sun)",
+                  /*App (javac ships in the sun hierarchy, counted as
+                     library)=*/0,
+                  298436, 345687, 24735, 856666, 0.80, 0.16, 0.03, 0.01,
+                  0.45),
+      makeProfile("jacorb", "Java Object Request Broker 0.5 (Freie U.)",
+                  12182, 159747, 4258177, 150175, 12975639, 0.84, 0.13,
+                  0.02, 0.01, 0.50),
+      makeProfile("javaparser", "Java grammar parser (Sun)", 59431, 159747,
+                  /*Objects (reconstructed)=*/512000, 39138, 888390, 0.78,
+                  0.18, 0.03, 0.01, 0.40),
+      makeProfile("jobe", "Java Obfuscator 1.0 (E. Jokioinen)", 52961,
+                  159747, /*Objects (reconstructed)=*/118000, 31, 621,
+                  0.92, 0.07, 0.01, 0.00, 0.30),
+      makeProfile("toba", "Java to C translator (U. Arizona)", 23743,
+                  166472, /*Objects (reconstructed)=*/930000, 70796,
+                  1611558, 0.73, 0.22, 0.04, 0.01, 0.40),
+      makeProfile("javalex", "Lexical analyzer generator for Java (E. Berk)",
+                  25058, 159747, 43392, 10333, 1975481, 0.88, 0.10, 0.02,
+                  0.00, 0.70),
+      makeProfile("jax", "Java scanner generator (K.B. Sriram)", 19182,
+                  160963, 24615, 4629, 19960283, 0.45, 0.45, 0.08, 0.02,
+                  0.90),
+      makeProfile("javacup", "Java Constructor of Parsers (S. Hudson)",
+                  30569, 160963, 221093, 23676, 330100, 0.80, 0.17, 0.02,
+                  0.01, 0.40),
+      makeProfile("NetRexx", "NetRexx to Java translator 1.0 (IBM)", 136535,
+                  298436, 2258960, 139253, 1918352, 0.76, 0.19, 0.04, 0.01,
+                  0.45),
+      makeProfile("Espresso", "Java source to bytecode compiler (M. Odersky)",
+                  10105, 159758, /*Objects (reconstructed)=*/152000, 12243,
+                  90573, 0.85, 0.12, 0.02, 0.01, 0.35),
+      makeProfile("HashJava", "Java obfuscator (K.B. Sriram)", 16821, 160827,
+                  247723, 7281, 212148, 0.70, 0.25, 0.04, 0.01, 0.40),
+      makeProfile("crema", "Java obfuscator (H.P. van Vliet)", 26008, 161071,
+                  84532, 10228, 275155, 0.82, 0.15, 0.02, 0.01, 0.35),
+      makeProfile("jaNet", "Java Neural Network ToolKit (W. Gander)", 8825,
+                  160827, 1083688, 234, 23369, 0.95, 0.04, 0.01, 0.00,
+                  0.25),
+      makeProfile("javadoc", "Java document generator (Sun)", 24154, 161229,
+                  625039, 119179, 1651763, 0.80, 0.17, 0.02, 0.01, 0.45),
+      makeProfile("javap", "Java disassembler (Sun)", 139800, 161096,
+                  334824, 448, 12030, 0.90, 0.08, 0.01, 0.01, 0.30),
+      makeProfile("mocha", "Java decompiler (H.P. van Vliet)",
+                  /*App (reconstructed)=*/35285, 160827, 879254, 107510,
+                  2175567, 0.65, 0.28, 0.05, 0.02, 0.45),
+      makeProfile("wingdis", "Java decompiler, demo version (WingSoft)",
+                  79260, 162650, 2577899, 633145, 3647296, 0.58, 0.34,
+                  0.06, 0.02, 0.50),
+  };
+  return Profiles;
+}
+
+double medianOf(std::vector<double> Values) {
+  assert(!Values.empty() && "median of nothing");
+  std::sort(Values.begin(), Values.end());
+  size_t N = Values.size();
+  if (N % 2 == 1)
+    return Values[N / 2];
+  return (Values[N / 2 - 1] + Values[N / 2]) / 2.0;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &workload::macroBenchmarkProfiles() {
+  return profiles();
+}
+
+const BenchmarkProfile *workload::findProfile(const char *Name) {
+  for (const BenchmarkProfile &Profile : profiles())
+    if (std::strcmp(Profile.Name, Name) == 0)
+      return &Profile;
+  return nullptr;
+}
+
+double workload::syncsPerSyncObject(const BenchmarkProfile &Profile) {
+  assert(Profile.SynchronizedObjects > 0 && "profile with no sync objects");
+  return static_cast<double>(Profile.SyncOperations) /
+         static_cast<double>(Profile.SynchronizedObjects);
+}
+
+double workload::medianSyncsPerSyncObject() {
+  std::vector<double> Ratios;
+  for (const BenchmarkProfile &Profile : profiles())
+    Ratios.push_back(syncsPerSyncObject(Profile));
+  return medianOf(std::move(Ratios));
+}
+
+double workload::medianFirstLockFraction() {
+  std::vector<double> Firsts;
+  for (const BenchmarkProfile &Profile : profiles())
+    Firsts.push_back(Profile.DepthMix[0]);
+  return medianOf(std::move(Firsts));
+}

@@ -1,0 +1,78 @@
+//===- workload/Profiles.h - Macro-benchmark profiles ----------*- C++ -*-===//
+///
+/// \file
+/// The paper's 18 macro-benchmarks (Table 1) as locking *profiles*: how
+/// many objects the program creates, how many are ever synchronized, how
+/// many synchronization operations it performs, and the nesting-depth
+/// mix of those operations (Figure 3).
+///
+/// Substitution note (see DESIGN.md): the original Java programs (javac,
+/// javalex, jax, ...) are not available, so the macro experiments replay
+/// these profiles synthetically.  The paper itself validates this
+/// methodology in §3.4 by predicting javalex's and jax's measured macro
+/// speedups to within 2% from their synchronization counts multiplied by
+/// the micro-benchmark per-operation costs — i.e. the profile *is* the
+/// performance-relevant content of the benchmark.
+///
+/// Values are taken from Table 1 and Figure 3 of the paper text where
+/// legible; the source text is an imperfect OCR, so a few cells are
+/// reconstructed from the paper's stated medians (22.7 syncs per
+/// synchronized object; 80% of lock operations at depth 1; no locking
+/// deeper than 4) and are marked in Profiles.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_WORKLOAD_PROFILES_H
+#define THINLOCKS_WORKLOAD_PROFILES_H
+
+#include <cstdint>
+#include <vector>
+
+namespace thinlocks {
+namespace workload {
+
+/// Locking profile of one macro-benchmark (one Table 1 row + one
+/// Figure 3 bar).
+struct BenchmarkProfile {
+  const char *Name;
+  const char *Description;
+  /// Application / library bytecode sizes in bytes (Table 1 "Size").
+  uint32_t AppBytecodeBytes;
+  uint32_t LibBytecodeBytes;
+  /// Total objects created (Table 1 "Objects").
+  uint64_t ObjectsCreated;
+  /// Objects that were ever synchronized (Table 1 "Sync'd Objects").
+  uint64_t SynchronizedObjects;
+  /// Total synchronization operations (Table 1 "Syncs").
+  uint64_t SyncOperations;
+  /// Figure 3: fraction of lock operations at depth 1 / 2 / 3 / 4+.
+  /// Sums to 1.0.
+  double DepthMix[4];
+  /// Fraction of sync operations issued through thread-safe library
+  /// classes (Vector/Hashtable/BitSet) rather than bare synchronized
+  /// blocks, used by the VM-based replay flavour.
+  double LibraryFraction;
+};
+
+/// \returns all 18 macro-benchmark profiles in Table 1 order.
+const std::vector<BenchmarkProfile> &macroBenchmarkProfiles();
+
+/// \returns the profile named \p Name, or nullptr.
+const BenchmarkProfile *findProfile(const char *Name);
+
+/// \returns Table 1's "Syncs/S.Obj" column for \p Profile.
+double syncsPerSyncObject(const BenchmarkProfile &Profile);
+
+/// \returns the median over all profiles of syncsPerSyncObject — the
+/// paper reports 22.7.
+double medianSyncsPerSyncObject();
+
+/// \returns the median over all profiles of DepthMix[0] — the paper
+/// reports that a median of 80% of lock operations are on unlocked
+/// objects, with a minimum of 45%.
+double medianFirstLockFraction();
+
+} // namespace workload
+} // namespace thinlocks
+
+#endif // THINLOCKS_WORKLOAD_PROFILES_H

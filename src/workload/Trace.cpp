@@ -1,0 +1,200 @@
+//===- workload/Trace.cpp - Lock-operation trace record & replay ----------===//
+
+#include "workload/Trace.h"
+
+#include <cassert>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+using namespace thinlocks;
+using namespace thinlocks::workload;
+
+char workload::traceEventCode(TraceEvent::Kind Kind) {
+  switch (Kind) {
+  case TraceEvent::Kind::Lock:
+    return 'L';
+  case TraceEvent::Kind::Unlock:
+    return 'U';
+  case TraceEvent::Kind::Wait:
+    return 'W';
+  case TraceEvent::Kind::Notify:
+    return 'N';
+  case TraceEvent::Kind::NotifyAll:
+    return 'A';
+  }
+  return '?';
+}
+
+namespace {
+bool kindFromCode(char Code, TraceEvent::Kind &Out) {
+  switch (Code) {
+  case 'L':
+    Out = TraceEvent::Kind::Lock;
+    return true;
+  case 'U':
+    Out = TraceEvent::Kind::Unlock;
+    return true;
+  case 'W':
+    Out = TraceEvent::Kind::Wait;
+    return true;
+  case 'N':
+    Out = TraceEvent::Kind::Notify;
+    return true;
+  case 'A':
+    Out = TraceEvent::Kind::NotifyAll;
+    return true;
+  default:
+    return false;
+  }
+}
+} // namespace
+
+uint32_t LockTrace::objectCount() const {
+  uint32_t Max = 0;
+  bool Any = false;
+  for (const TraceEvent &Event : Events) {
+    Any = true;
+    if (Event.ObjectId > Max)
+      Max = Event.ObjectId;
+  }
+  return Any ? Max + 1 : 0;
+}
+
+uint32_t LockTrace::threadCount() const {
+  std::set<uint16_t> Threads;
+  for (const TraceEvent &Event : Events)
+    Threads.insert(Event.ThreadIndex);
+  return static_cast<uint32_t>(Threads.size());
+}
+
+uint64_t LockTrace::lockOperationCount() const {
+  uint64_t Count = 0;
+  for (const TraceEvent &Event : Events)
+    if (Event.Op == TraceEvent::Kind::Lock)
+      ++Count;
+  return Count;
+}
+
+double LockTrace::locksPerObject() const {
+  uint32_t Objects = objectCount();
+  if (Objects == 0)
+    return 0.0;
+  return static_cast<double>(lockOperationCount()) /
+         static_cast<double>(Objects);
+}
+
+void LockTrace::depthMix(double Out[4]) const {
+  uint64_t Buckets[4] = {0, 0, 0, 0};
+  uint64_t Total = 0;
+  // (thread, object) -> current hold depth.
+  std::map<std::pair<uint16_t, uint32_t>, uint32_t> Depths;
+  for (const TraceEvent &Event : Events) {
+    auto Key = std::make_pair(Event.ThreadIndex, Event.ObjectId);
+    if (Event.Op == TraceEvent::Kind::Lock) {
+      uint32_t Depth = ++Depths[Key];
+      ++Buckets[Depth >= 4 ? 3 : Depth - 1];
+      ++Total;
+    } else if (Event.Op == TraceEvent::Kind::Unlock) {
+      auto It = Depths.find(Key);
+      if (It != Depths.end() && It->second > 0 && --It->second == 0)
+        Depths.erase(It);
+    }
+  }
+  for (int I = 0; I < 4; ++I)
+    Out[I] = Total == 0
+                 ? 0.0
+                 : static_cast<double>(Buckets[I]) /
+                       static_cast<double>(Total);
+}
+
+void LockTrace::save(std::ostream &Out) const {
+  for (const TraceEvent &Event : Events)
+    Out << traceEventCode(Event.Op) << ' ' << Event.ObjectId << ' '
+        << Event.ThreadIndex << '\n';
+}
+
+bool LockTrace::load(std::istream &In) {
+  Events.clear();
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream Parser(Line);
+    char Code = 0;
+    uint32_t ObjectId = 0;
+    uint32_t ThreadIndex = 0;
+    if (!(Parser >> Code >> ObjectId >> ThreadIndex))
+      return false;
+    TraceEvent Event;
+    if (!kindFromCode(Code, Event.Op))
+      return false;
+    if (ThreadIndex > UINT16_MAX)
+      return false;
+    Event.ObjectId = ObjectId;
+    Event.ThreadIndex = static_cast<uint16_t>(ThreadIndex);
+    Events.push_back(Event);
+  }
+  return true;
+}
+
+uint32_t TracingBackend::internObject(const Object *Obj) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  auto It = ObjectIds.find(Obj);
+  if (It != ObjectIds.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(ObjectIds.size());
+  ObjectIds.emplace(Obj, Id);
+  return Id;
+}
+
+void TracingBackend::record(TraceEvent::Kind Kind, const Object *Obj,
+                            const ThreadContext &Thread) {
+  uint32_t Id = internObject(Obj);
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Trace.append(TraceEvent{Kind, Id, Thread.index()});
+}
+
+void TracingBackend::lock(Object *Obj, const ThreadContext &Thread) {
+  Underlying.lock(Obj, Thread);
+  record(TraceEvent::Kind::Lock, Obj, Thread);
+}
+
+void TracingBackend::unlock(Object *Obj, const ThreadContext &Thread) {
+  Underlying.unlock(Obj, Thread);
+  record(TraceEvent::Kind::Unlock, Obj, Thread);
+}
+
+bool TracingBackend::unlockChecked(Object *Obj,
+                                   const ThreadContext &Thread) {
+  bool Ok = Underlying.unlockChecked(Obj, Thread);
+  if (Ok)
+    record(TraceEvent::Kind::Unlock, Obj, Thread);
+  return Ok;
+}
+
+WaitStatus TracingBackend::wait(Object *Obj, const ThreadContext &Thread,
+                                int64_t TimeoutNanos) {
+  WaitStatus Status = Underlying.wait(Obj, Thread, TimeoutNanos);
+  if (Status != WaitStatus::NotOwner)
+    record(TraceEvent::Kind::Wait, Obj, Thread);
+  return Status;
+}
+
+NotifyStatus TracingBackend::notify(Object *Obj,
+                                    const ThreadContext &Thread) {
+  NotifyStatus Status = Underlying.notify(Obj, Thread);
+  if (Status == NotifyStatus::Ok)
+    record(TraceEvent::Kind::Notify, Obj, Thread);
+  return Status;
+}
+
+NotifyStatus TracingBackend::notifyAll(Object *Obj,
+                                       const ThreadContext &Thread) {
+  NotifyStatus Status = Underlying.notifyAll(Obj, Thread);
+  if (Status == NotifyStatus::Ok)
+    record(TraceEvent::Kind::NotifyAll, Obj, Thread);
+  return Status;
+}

@@ -1,0 +1,97 @@
+//===- tests/assembler_test.cpp - Bytecode assembler tests ----------------===//
+
+#include "vm/Assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace thinlocks;
+using namespace thinlocks::vm;
+
+TEST(Assembler, EmitsStraightLineCode) {
+  Assembler Asm;
+  auto Code = Asm.iconst(7).istore(0).iload(0).iret().finish();
+  ASSERT_EQ(Code.size(), 4u);
+  EXPECT_EQ(Code[0].Op, Opcode::Iconst);
+  EXPECT_EQ(Code[0].A, 7);
+  EXPECT_EQ(Code[1].Op, Opcode::Istore);
+  EXPECT_EQ(Code[2].Op, Opcode::Iload);
+  EXPECT_EQ(Code[3].Op, Opcode::Ireturn);
+}
+
+TEST(Assembler, ResolvesBackwardBranch) {
+  Assembler Asm;
+  auto Loop = Asm.newLabel();
+  Asm.bind(Loop);
+  Asm.nop();
+  Asm.jmp(Loop);
+  auto Code = Asm.finish();
+  ASSERT_EQ(Code.size(), 2u);
+  EXPECT_EQ(Code[1].Op, Opcode::Goto);
+  EXPECT_EQ(Code[1].A, 0);
+}
+
+TEST(Assembler, ResolvesForwardBranch) {
+  Assembler Asm;
+  auto Done = Asm.newLabel();
+  Asm.iconst(1);
+  Asm.ifne(Done);
+  Asm.nop();
+  Asm.bind(Done);
+  Asm.ret();
+  auto Code = Asm.finish();
+  ASSERT_EQ(Code.size(), 4u);
+  EXPECT_EQ(Code[1].Op, Opcode::Ifne);
+  EXPECT_EQ(Code[1].A, 3);
+}
+
+TEST(Assembler, MultipleFixupsForOneLabel) {
+  Assembler Asm;
+  auto Target = Asm.newLabel();
+  Asm.iconst(0).ifne(Target);
+  Asm.iconst(0).ifeq(Target);
+  Asm.bind(Target);
+  Asm.ret();
+  auto Code = Asm.finish();
+  EXPECT_EQ(Code[1].A, 4);
+  EXPECT_EQ(Code[3].A, 4);
+}
+
+TEST(Assembler, SynchronizedOnWrapsBody) {
+  Assembler Asm;
+  Asm.synchronizedOn(1, [](Assembler &A) { A.iinc(2, 1); });
+  auto Code = Asm.finish();
+  ASSERT_EQ(Code.size(), 5u);
+  EXPECT_EQ(Code[0].Op, Opcode::Aload);
+  EXPECT_EQ(Code[1].Op, Opcode::MonitorEnter);
+  EXPECT_EQ(Code[2].Op, Opcode::Iinc);
+  EXPECT_EQ(Code[3].Op, Opcode::Aload);
+  EXPECT_EQ(Code[4].Op, Opcode::MonitorExit);
+}
+
+TEST(Assembler, CountedLoopShape) {
+  Assembler Asm;
+  Asm.countedLoop(2, 0, [](Assembler &A) { A.iinc(3, 1); });
+  Asm.ret();
+  auto Code = Asm.finish();
+  // iconst, istore, [head] iload, iload, if_icmpge -> done, body,
+  // iinc counter, goto head, [done] ret
+  ASSERT_EQ(Code.size(), 9u);
+  EXPECT_EQ(Code[4].Op, Opcode::IfIcmpGe);
+  EXPECT_EQ(Code[4].A, 8); // Branch to ret.
+  EXPECT_EQ(Code[7].Op, Opcode::Goto);
+  EXPECT_EQ(Code[7].A, 2); // Back to loop head.
+}
+
+TEST(Assembler, NextIndexTracksEmission) {
+  Assembler Asm;
+  EXPECT_EQ(Asm.nextIndex(), 0u);
+  Asm.nop().nop();
+  EXPECT_EQ(Asm.nextIndex(), 2u);
+}
+
+TEST(Assembler, OpcodeNamesAreStable) {
+  EXPECT_STREQ(opcodeName(Opcode::MonitorEnter), "monitorenter");
+  EXPECT_STREQ(opcodeName(Opcode::MonitorExit), "monitorexit");
+  EXPECT_STREQ(opcodeName(Opcode::Iinc), "iinc");
+  EXPECT_STREQ(opcodeName(Opcode::Invoke), "invoke");
+}

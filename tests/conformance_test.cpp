@@ -1,0 +1,275 @@
+//===- tests/conformance_test.cpp - Cross-protocol conformance ------------===//
+//
+// One behavioural suite, instantiated for all three protocols the paper
+// compares (ThinLock, JDK111 monitor cache, IBM112 hot locks).  Whatever
+// the implementation strategy, Java monitor semantics must hold: mutual
+// exclusion, recursion, wait/notify, ownership errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/EagerMonitor.h"
+#include "baselines/HotLocks.h"
+#include "baselines/MonitorCache.h"
+#include "core/ThinLock.h"
+#include "heap/Heap.h"
+#include "threads/ThreadRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace thinlocks;
+
+namespace {
+
+/// Factory trait: how to construct each protocol over shared substrates.
+template <typename P> struct ProtocolMaker;
+
+template <> struct ProtocolMaker<ThinLockManager> {
+  MonitorTable Monitors;
+  ThinLockManager Protocol{Monitors};
+};
+
+template <> struct ProtocolMaker<MonitorCache> {
+  MonitorCache Protocol{/*PoolSize=*/64};
+};
+
+template <> struct ProtocolMaker<HotLocks> {
+  HotLocks Protocol{/*NumHotLocks=*/32, /*PromotionThreshold=*/4,
+                    /*PoolSize=*/64};
+};
+
+template <> struct ProtocolMaker<EagerMonitor> {
+  EagerMonitor Protocol;
+};
+
+template <typename P> class ConformanceTest : public ::testing::Test {
+protected:
+  Heap TheHeap;
+  ThreadRegistry Registry;
+  ProtocolMaker<P> Maker;
+  ThreadContext Main;
+  const ClassInfo *Class = nullptr;
+
+  void SetUp() override {
+    Main = Registry.attach("main");
+    Class = &TheHeap.classes().registerClass("C", 0);
+  }
+  void TearDown() override { Registry.detach(Main); }
+
+  P &protocol() { return Maker.Protocol; }
+  Object *newObject() { return TheHeap.allocate(*Class); }
+};
+
+using Protocols =
+    ::testing::Types<ThinLockManager, MonitorCache, HotLocks, EagerMonitor>;
+TYPED_TEST_SUITE(ConformanceTest, Protocols);
+
+} // namespace
+
+TYPED_TEST(ConformanceTest, ProtocolHasAName) {
+  EXPECT_NE(TypeParam::protocolName(), nullptr);
+  EXPECT_GT(std::string(TypeParam::protocolName()).size(), 0u);
+}
+
+TYPED_TEST(ConformanceTest, LockUnlockSingle) {
+  Object *Obj = this->newObject();
+  EXPECT_FALSE(this->protocol().holdsLock(Obj, this->Main));
+  this->protocol().lock(Obj, this->Main);
+  EXPECT_TRUE(this->protocol().holdsLock(Obj, this->Main));
+  EXPECT_EQ(this->protocol().lockDepth(Obj, this->Main), 1u);
+  this->protocol().unlock(Obj, this->Main);
+  EXPECT_FALSE(this->protocol().holdsLock(Obj, this->Main));
+  EXPECT_EQ(this->protocol().lockDepth(Obj, this->Main), 0u);
+}
+
+TYPED_TEST(ConformanceTest, RecursionToDepth300) {
+  // Crosses the thin-lock 256-hold boundary; baselines must also cope.
+  Object *Obj = this->newObject();
+  for (uint32_t I = 1; I <= 300; ++I) {
+    this->protocol().lock(Obj, this->Main);
+    EXPECT_EQ(this->protocol().lockDepth(Obj, this->Main), I);
+  }
+  for (uint32_t I = 300; I >= 1; --I) {
+    this->protocol().unlock(Obj, this->Main);
+    EXPECT_EQ(this->protocol().lockDepth(Obj, this->Main), I - 1);
+  }
+}
+
+TYPED_TEST(ConformanceTest, UnlockCheckedOnUnownedFails) {
+  Object *Obj = this->newObject();
+  EXPECT_FALSE(this->protocol().unlockChecked(Obj, this->Main));
+  this->protocol().lock(Obj, this->Main);
+  EXPECT_TRUE(this->protocol().unlockChecked(Obj, this->Main));
+  EXPECT_FALSE(this->protocol().unlockChecked(Obj, this->Main));
+}
+
+TYPED_TEST(ConformanceTest, IndependentObjectsIndependentOwners) {
+  Object *A = this->newObject();
+  Object *B = this->newObject();
+  this->protocol().lock(A, this->Main);
+  std::thread Other([&] {
+    ScopedThreadAttachment Attachment(this->Registry);
+    this->protocol().lock(B, Attachment.context());
+    EXPECT_TRUE(this->protocol().holdsLock(B, Attachment.context()));
+    EXPECT_FALSE(this->protocol().holdsLock(A, Attachment.context()));
+    this->protocol().unlock(B, Attachment.context());
+  });
+  Other.join();
+  EXPECT_TRUE(this->protocol().holdsLock(A, this->Main));
+  EXPECT_FALSE(this->protocol().holdsLock(B, this->Main));
+  this->protocol().unlock(A, this->Main);
+}
+
+TYPED_TEST(ConformanceTest, MutualExclusionCounterInvariant) {
+  Object *Obj = this->newObject();
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 3000;
+  uint64_t Shared = 0; // Protected by Obj's monitor.
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < NumThreads; ++T) {
+    Workers.emplace_back([&] {
+      ScopedThreadAttachment Attachment(this->Registry);
+      for (int I = 0; I < PerThread; ++I) {
+        this->protocol().lock(Obj, Attachment.context());
+        ++Shared;
+        this->protocol().unlock(Obj, Attachment.context());
+      }
+    });
+  }
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Shared, static_cast<uint64_t>(NumThreads) * PerThread);
+}
+
+TYPED_TEST(ConformanceTest, ManyObjectsManyThreads) {
+  constexpr int NumObjects = 64;
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 2000;
+  std::vector<Object *> Objects;
+  std::vector<uint64_t> Counters(NumObjects, 0);
+  for (int I = 0; I < NumObjects; ++I)
+    Objects.push_back(this->newObject());
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < NumThreads; ++T) {
+    Workers.emplace_back([&, T] {
+      ScopedThreadAttachment Attachment(this->Registry);
+      uint64_t State = T * 1299709 + 12345;
+      for (int I = 0; I < PerThread; ++I) {
+        State = State * 6364136223846793005ull + 1442695040888963407ull;
+        int Index = static_cast<int>((State >> 33) % NumObjects);
+        this->protocol().lock(Objects[Index], Attachment.context());
+        ++Counters[Index];
+        this->protocol().unlock(Objects[Index], Attachment.context());
+      }
+    });
+  }
+  for (auto &W : Workers)
+    W.join();
+  uint64_t Total = 0;
+  for (uint64_t C : Counters)
+    Total += C;
+  EXPECT_EQ(Total, static_cast<uint64_t>(NumThreads) * PerThread);
+}
+
+TYPED_TEST(ConformanceTest, WaitNotifyHandshake) {
+  Object *Obj = this->newObject();
+  std::atomic<int> Phase{0};
+
+  std::thread Waiter([&] {
+    ScopedThreadAttachment Attachment(this->Registry, "waiter");
+    this->protocol().lock(Obj, Attachment.context());
+    Phase.store(1);
+    WaitStatus Status = this->protocol().wait(Obj, Attachment.context(), -1);
+    EXPECT_EQ(Status, WaitStatus::Notified);
+    Phase.store(2);
+    this->protocol().unlock(Obj, Attachment.context());
+  });
+
+  while (Phase.load() != 1)
+    std::this_thread::yield();
+  // Acquire, which guarantees the waiter is inside wait() (it holds the
+  // monitor until wait releases it).
+  this->protocol().lock(Obj, this->Main);
+  EXPECT_EQ(Phase.load(), 1);
+  EXPECT_EQ(this->protocol().notify(Obj, this->Main), NotifyStatus::Ok);
+  this->protocol().unlock(Obj, this->Main);
+  Waiter.join();
+  EXPECT_EQ(Phase.load(), 2);
+}
+
+TYPED_TEST(ConformanceTest, TimedWaitTimesOutAndReacquires) {
+  Object *Obj = this->newObject();
+  this->protocol().lock(Obj, this->Main);
+  WaitStatus Status =
+      this->protocol().wait(Obj, this->Main, /*TimeoutNanos=*/5'000'000);
+  EXPECT_EQ(Status, WaitStatus::TimedOut);
+  EXPECT_TRUE(this->protocol().holdsLock(Obj, this->Main));
+  this->protocol().unlock(Obj, this->Main);
+}
+
+TYPED_TEST(ConformanceTest, WaitNotifyRequireOwnership) {
+  Object *Obj = this->newObject();
+  EXPECT_EQ(this->protocol().wait(Obj, this->Main, 0),
+            WaitStatus::NotOwner);
+  EXPECT_EQ(this->protocol().notify(Obj, this->Main),
+            NotifyStatus::NotOwner);
+  EXPECT_EQ(this->protocol().notifyAll(Obj, this->Main),
+            NotifyStatus::NotOwner);
+}
+
+TYPED_TEST(ConformanceTest, NotifyAllWakesAllWaiters) {
+  Object *Obj = this->newObject();
+  constexpr int NumWaiters = 3;
+  std::atomic<int> Woken{0};
+  std::atomic<int> Ready{0};
+  std::vector<std::thread> Waiters;
+  for (int T = 0; T < NumWaiters; ++T) {
+    Waiters.emplace_back([&] {
+      ScopedThreadAttachment Attachment(this->Registry);
+      this->protocol().lock(Obj, Attachment.context());
+      Ready.fetch_add(1);
+      EXPECT_EQ(this->protocol().wait(Obj, Attachment.context(), -1),
+                WaitStatus::Notified);
+      Woken.fetch_add(1);
+      this->protocol().unlock(Obj, Attachment.context());
+    });
+  }
+  // Each waiter holds the monitor from lock() until wait() releases it,
+  // so once Ready == 3 *and* we can acquire the monitor, all three are in
+  // the wait set.
+  while (Ready.load() != NumWaiters)
+    std::this_thread::yield();
+  this->protocol().lock(Obj, this->Main);
+  EXPECT_EQ(this->protocol().notifyAll(Obj, this->Main), NotifyStatus::Ok);
+  this->protocol().unlock(Obj, this->Main);
+  for (auto &W : Waiters)
+    W.join();
+  EXPECT_EQ(Woken.load(), NumWaiters);
+}
+
+TYPED_TEST(ConformanceTest, DepthSurvivesWait) {
+  Object *Obj = this->newObject();
+  std::atomic<bool> Waiting{false};
+  std::thread Waiter([&] {
+    ScopedThreadAttachment Attachment(this->Registry);
+    this->protocol().lock(Obj, Attachment.context());
+    this->protocol().lock(Obj, Attachment.context());
+    Waiting.store(true);
+    EXPECT_EQ(this->protocol().wait(Obj, Attachment.context(), -1),
+              WaitStatus::Notified);
+    EXPECT_EQ(this->protocol().lockDepth(Obj, Attachment.context()), 2u);
+    this->protocol().unlock(Obj, Attachment.context());
+    this->protocol().unlock(Obj, Attachment.context());
+  });
+  while (!Waiting.load())
+    std::this_thread::yield();
+  // The waiter holds the monitor from lock() to wait(); acquiring it here
+  // proves the waiter is in the wait set.
+  this->protocol().lock(Obj, this->Main);
+  this->protocol().notifyAll(Obj, this->Main);
+  this->protocol().unlock(Obj, this->Main);
+  Waiter.join();
+}

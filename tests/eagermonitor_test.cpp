@@ -1,0 +1,114 @@
+//===- tests/eagermonitor_test.cpp - Monitor-per-object baseline ----------===//
+//
+// EagerMonitor-specific behaviour (the shared semantics are covered by
+// the cross-protocol conformance suite): unbounded space growth, which is
+// exactly why the paper rejects the design (§1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/EagerMonitor.h"
+#include "core/ThinLock.h"
+#include "heap/Heap.h"
+#include "threads/ThreadRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace thinlocks;
+
+namespace {
+class EagerMonitorTest : public ::testing::Test {
+protected:
+  Heap TheHeap;
+  ThreadRegistry Registry;
+  EagerMonitor Locks;
+  ThreadContext Main;
+  const ClassInfo *Class = nullptr;
+
+  void SetUp() override {
+    Main = Registry.attach("main");
+    Class = &TheHeap.classes().registerClass("E", 0);
+  }
+  void TearDown() override { Registry.detach(Main); }
+};
+} // namespace
+
+TEST_F(EagerMonitorTest, OneMonitorPerSynchronizedObjectForever) {
+  EXPECT_EQ(Locks.monitorCount(), 0u);
+  std::vector<Object *> Objects;
+  for (int I = 0; I < 100; ++I) {
+    Objects.push_back(TheHeap.allocate(*Class));
+    Locks.lock(Objects.back(), Main);
+    Locks.unlock(Objects.back(), Main);
+  }
+  // One monitor each, and none are ever reclaimed.
+  EXPECT_EQ(Locks.monitorCount(), 100u);
+  for (Object *Obj : Objects) {
+    Locks.lock(Obj, Main);
+    Locks.unlock(Obj, Main);
+  }
+  EXPECT_EQ(Locks.monitorCount(), 100u);
+  EXPECT_GE(Locks.approximateMonitorBytes(), 100 * sizeof(FatLock));
+}
+
+TEST_F(EagerMonitorTest, QueriesDoNotCreateMonitors) {
+  Object *Obj = TheHeap.allocate(*Class);
+  EXPECT_FALSE(Locks.holdsLock(Obj, Main));
+  EXPECT_EQ(Locks.lockDepth(Obj, Main), 0u);
+  EXPECT_FALSE(Locks.unlockChecked(Obj, Main));
+  EXPECT_EQ(Locks.wait(Obj, Main, 0), WaitStatus::NotOwner);
+  EXPECT_EQ(Locks.notify(Obj, Main), NotifyStatus::NotOwner);
+  EXPECT_EQ(Locks.monitorCount(), 0u);
+}
+
+TEST_F(EagerMonitorTest, NeverTouchesObjectHeaders) {
+  Object *Obj = TheHeap.allocate(*Class);
+  uint32_t Before = Obj->lockWord().load();
+  Locks.lock(Obj, Main);
+  Locks.lock(Obj, Main);
+  EXPECT_EQ(Obj->lockWord().load(), Before);
+  Locks.unlock(Obj, Main);
+  Locks.unlock(Obj, Main);
+  EXPECT_EQ(Obj->lockWord().load(), Before);
+}
+
+TEST_F(EagerMonitorTest, ShardsHandleConcurrentFirstUse) {
+  constexpr int NumThreads = 4;
+  constexpr int ObjectsPerThread = 500;
+  std::vector<std::vector<Object *>> PerThread(NumThreads);
+  for (int T = 0; T < NumThreads; ++T)
+    for (int I = 0; I < ObjectsPerThread; ++I)
+      PerThread[T].push_back(TheHeap.allocate(*Class));
+
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < NumThreads; ++T) {
+    Workers.emplace_back([&, T] {
+      ScopedThreadAttachment Attachment(Registry);
+      for (Object *Obj : PerThread[T]) {
+        Locks.lock(Obj, Attachment.context());
+        Locks.unlock(Obj, Attachment.context());
+      }
+    });
+  }
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Locks.monitorCount(),
+            static_cast<uint64_t>(NumThreads) * ObjectsPerThread);
+}
+
+TEST_F(EagerMonitorTest, ThinLocksUseNoSpaceUntilInflationByContrast) {
+  // The §1 comparison this baseline exists for.
+  MonitorTable Monitors;
+  ThinLockManager Thin(Monitors);
+  for (int I = 0; I < 100; ++I) {
+    Object *Obj = TheHeap.allocate(*Class);
+    Thin.lock(Obj, Main);
+    Thin.unlock(Obj, Main);
+    Locks.lock(Obj, Main);
+    Locks.unlock(Obj, Main);
+  }
+  EXPECT_EQ(Monitors.liveMonitorCount(), 0u); // Thin: zero monitors.
+  EXPECT_EQ(Locks.monitorCount(), 100u);      // Eager: one per object.
+}

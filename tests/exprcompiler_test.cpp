@@ -1,0 +1,304 @@
+//===- tests/exprcompiler_test.cpp - Expression compiler tests ------------===//
+
+#include "vm/ExprCompiler.h"
+
+#include "vm/Disassembler.h"
+#include "vm/Verifier.h"
+#include "vm/VM.h"
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+using namespace thinlocks;
+using namespace thinlocks::vm;
+
+namespace {
+
+class ExprCompilerTest : public ::testing::Test {
+protected:
+  VM Vm;
+  Klass *K = nullptr;
+  std::unique_ptr<ExprCompiler> Compiler;
+  std::unique_ptr<ScopedThreadAttachment> Attachment;
+
+  void SetUp() override {
+    K = &Vm.defineClass("Expr", {});
+    Compiler = std::make_unique<ExprCompiler>(Vm, *K);
+    Attachment =
+        std::make_unique<ScopedThreadAttachment>(Vm.threads(), "main");
+  }
+
+  /// Compiles and runs; expects success.
+  int32_t eval(std::string_view Source,
+               const std::vector<std::string> &Params = {},
+               const std::vector<int32_t> &Args = {}) {
+    ExprCompiler::Result R = Compiler->compile(Source, Params);
+    EXPECT_TRUE(R.ok()) << R.Error << " at " << R.ErrorPos;
+    if (!R.ok())
+      return INT32_MIN;
+    EXPECT_FALSE(Verifier(Vm).verify(*R.M)) << "verifier rejected output";
+    std::vector<Value> CallArgs;
+    for (int32_t A : Args)
+      CallArgs.push_back(Value::makeInt(A));
+    RunResult Run = Vm.call(*R.M, CallArgs, Attachment->context());
+    EXPECT_EQ(Run.TrapKind, Trap::None) << trapName(Run.TrapKind);
+    return Run.ok() ? Run.Result.asInt() : INT32_MIN;
+  }
+};
+
+} // namespace
+
+TEST_F(ExprCompilerTest, Literals) {
+  EXPECT_EQ(eval("42"), 42);
+  EXPECT_EQ(eval("0"), 0);
+  EXPECT_EQ(eval("2147483647"), INT32_MAX);
+}
+
+TEST_F(ExprCompilerTest, BasicArithmetic) {
+  EXPECT_EQ(eval("1 + 2"), 3);
+  EXPECT_EQ(eval("10 - 4"), 6);
+  EXPECT_EQ(eval("6 * 7"), 42);
+  EXPECT_EQ(eval("42 / 5"), 8);
+  EXPECT_EQ(eval("42 % 5"), 2);
+}
+
+TEST_F(ExprCompilerTest, PrecedenceAndAssociativity) {
+  EXPECT_EQ(eval("2 + 3 * 4"), 14);
+  EXPECT_EQ(eval("2 * 3 + 4"), 10);
+  EXPECT_EQ(eval("10 - 2 - 3"), 5);      // Left associative.
+  EXPECT_EQ(eval("100 / 10 / 2"), 5);    // (100/10)/2
+  EXPECT_EQ(eval("2 + 3 * 4 - 5"), 9);
+}
+
+TEST_F(ExprCompilerTest, Parentheses) {
+  EXPECT_EQ(eval("(2 + 3) * 4"), 20);
+  EXPECT_EQ(eval("((((7))))"), 7);
+  EXPECT_EQ(eval("(10 - (2 - 3))"), 11);
+}
+
+TEST_F(ExprCompilerTest, UnaryMinus) {
+  EXPECT_EQ(eval("-5"), -5);
+  EXPECT_EQ(eval("--5"), 5);
+  EXPECT_EQ(eval("-(2 + 3)"), -5);
+  EXPECT_EQ(eval("4 - -3"), 7);
+}
+
+TEST_F(ExprCompilerTest, Parameters) {
+  EXPECT_EQ(eval("x", {"x"}, {17}), 17);
+  EXPECT_EQ(eval("x + y", {"x", "y"}, {2, 40}), 42);
+  EXPECT_EQ(eval("x * x - y", {"x", "y"}, {7, 7}), 42);
+  EXPECT_EQ(eval("2 - 3 * x", {"x"}, {4}), -10); // Non-commutative order.
+  EXPECT_EQ(eval("100 / x", {"x"}, {7}), 14);
+  EXPECT_EQ(eval("2 % x", {"x"}, {3}), 2);
+}
+
+TEST_F(ExprCompilerTest, WrapAroundSemantics) {
+  EXPECT_EQ(eval("2147483647 + 1"), INT32_MIN);
+  EXPECT_EQ(eval("x + 1", {"x"}, {INT32_MAX}), INT32_MIN);
+  EXPECT_EQ(eval("-2147483647 - 1"), INT32_MIN);
+}
+
+TEST_F(ExprCompilerTest, ConstantFoldingShrinksCode) {
+  ExprCompiler::Result Folded =
+      Compiler->compile("2 + 3 * 4 - (5 - 1)", {});
+  ASSERT_TRUE(Folded.ok());
+  // Entire expression folds to one iconst + iret.
+  EXPECT_EQ(Folded.M->Code.size(), 2u);
+  EXPECT_EQ(Folded.M->Code[0].Op, Opcode::Iconst);
+  EXPECT_EQ(Folded.M->Code[0].A, 10);
+
+  ExprCompiler::Result Mixed = Compiler->compile("x + 2 * 3", {"x"});
+  ASSERT_TRUE(Mixed.ok());
+  // 2*3 folds: iload, iconst 6, iadd, iret.
+  EXPECT_EQ(Mixed.M->Code.size(), 4u);
+  EXPECT_EQ(Mixed.M->Code[1].A, 6);
+}
+
+TEST_F(ExprCompilerTest, FoldingPreservesDivisionByZeroTrap) {
+  ExprCompiler::Result R = Compiler->compile("1 / 0", {});
+  ASSERT_TRUE(R.ok()); // Compiles; traps at run time, like Java.
+  RunResult Run = Vm.call(*R.M, {}, Attachment->context());
+  EXPECT_EQ(Run.TrapKind, Trap::DivideByZero);
+
+  ExprCompiler::Result R2 = Compiler->compile("5 % 0", {});
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(Vm.call(*R2.M, {}, Attachment->context()).TrapKind,
+            Trap::DivideByZero);
+}
+
+TEST_F(ExprCompilerTest, RuntimeDivisionByZeroTraps) {
+  ExprCompiler::Result R = Compiler->compile("10 / x", {"x"});
+  ASSERT_TRUE(R.ok());
+  RunResult Run = Vm.call(
+      *R.M, std::vector<Value>{Value::makeInt(0)}, Attachment->context());
+  EXPECT_EQ(Run.TrapKind, Trap::DivideByZero);
+}
+
+TEST_F(ExprCompilerTest, SyntaxErrorsAreReported) {
+  struct Case {
+    const char *Source;
+    const char *ErrorFragment;
+  };
+  const Case Cases[] = {
+      {"", "unexpected end"},
+      {"1 +", "unexpected end"},
+      {"(1 + 2", "expected ')'"},
+      {"1 2", "unexpected input"},
+      {"$", "unrecognized"},
+      {"1 + $", "unrecognized"},
+      {"9999999999", "out of range"},
+      {"x + 1", "unknown parameter"},
+      {")", "expected a number"},
+  };
+  for (const Case &C : Cases) {
+    ExprCompiler::Result R = Compiler->compile(C.Source, {});
+    EXPECT_FALSE(R.ok()) << C.Source;
+    EXPECT_NE(R.Error.find(C.ErrorFragment), std::string::npos)
+        << C.Source << " -> " << R.Error;
+  }
+}
+
+TEST_F(ExprCompilerTest, ErrorPositionPointsAtOffendingToken) {
+  ExprCompiler::Result R = Compiler->compile("1 + bad", {"x"});
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.ErrorPos, 4u);
+}
+
+TEST_F(ExprCompilerTest, DisassemblesReadably) {
+  ExprCompiler::Result R = Compiler->compile("x * 2 + 1", {"x"});
+  ASSERT_TRUE(R.ok());
+  std::string Listing = disassemble(*R.M, &Vm);
+  EXPECT_NE(Listing.find("iload 0"), std::string::npos);
+  EXPECT_NE(Listing.find("imul"), std::string::npos);
+  EXPECT_NE(Listing.find("ireturn"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Property test: random expressions agree with a host-side evaluator.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Host-side evaluator with Java int semantics, generating the source
+/// string and expected value together.
+struct RandomExpr {
+  std::string Source;
+  int32_t Value = 0;
+};
+
+int32_t wrap(int64_t V) { return static_cast<int32_t>(static_cast<uint32_t>(
+    static_cast<uint64_t>(V))); }
+
+RandomExpr genExpr(SplitMix64 &Rng, const std::vector<int32_t> &ParamValues,
+                   int Depth);
+
+RandomExpr genPrimary(SplitMix64 &Rng,
+                      const std::vector<int32_t> &ParamValues, int Depth) {
+  uint64_t Choice = Rng.nextBounded(Depth <= 0 ? 2 : 3);
+  if (Choice == 0) {
+    int32_t V = static_cast<int32_t>(Rng.nextBounded(200)) - 100;
+    RandomExpr E;
+    if (V < 0) {
+      // Render negatives through unary minus to stay in the grammar.
+      E.Source = "(0 - " + std::to_string(-static_cast<int64_t>(V)) + ")";
+    } else {
+      E.Source = std::to_string(V);
+    }
+    E.Value = V;
+    return E;
+  }
+  if (Choice == 1 && !ParamValues.empty()) {
+    size_t Index = Rng.nextBounded(ParamValues.size());
+    RandomExpr E;
+    E.Source = "p" + std::to_string(Index);
+    E.Value = ParamValues[Index];
+    return E;
+  }
+  RandomExpr Inner = genExpr(Rng, ParamValues, Depth - 1);
+  Inner.Source = "(" + Inner.Source + ")";
+  return Inner;
+}
+
+RandomExpr genExpr(SplitMix64 &Rng, const std::vector<int32_t> &ParamValues,
+                   int Depth) {
+  RandomExpr Lhs = genPrimary(Rng, ParamValues, Depth);
+  int Ops = Depth <= 0 ? 0 : static_cast<int>(Rng.nextBounded(3));
+  for (int I = 0; I < Ops; ++I) {
+    RandomExpr Rhs = genPrimary(Rng, ParamValues, Depth - 1);
+    // The host evaluates strictly left-to-right, so parenthesize both
+    // sides to make the rendered source mean the same thing regardless
+    // of operator precedence.
+    switch (Rng.nextBounded(5)) {
+    case 0:
+      Lhs.Source = "(" + Lhs.Source + ") + (" + Rhs.Source + ")";
+      Lhs.Value = wrap(static_cast<int64_t>(Lhs.Value) + Rhs.Value);
+      break;
+    case 1:
+      Lhs.Source = "(" + Lhs.Source + ") - (" + Rhs.Source + ")";
+      Lhs.Value = wrap(static_cast<int64_t>(Lhs.Value) - Rhs.Value);
+      break;
+    case 2:
+      Lhs.Source = "(" + Lhs.Source + ") * (" + Rhs.Source + ")";
+      Lhs.Value = wrap(static_cast<int64_t>(Lhs.Value) * Rhs.Value);
+      break;
+    case 3:
+      if (Rhs.Value != 0) {
+        Lhs.Source = "(" + Lhs.Source + ") / (" + Rhs.Source + ")";
+        Lhs.Value = (Lhs.Value == INT32_MIN && Rhs.Value == -1)
+                        ? INT32_MIN
+                        : Lhs.Value / Rhs.Value;
+      }
+      break;
+    case 4:
+      if (Rhs.Value != 0) {
+        Lhs.Source = "(" + Lhs.Source + ") % (" + Rhs.Source + ")";
+        Lhs.Value = (Lhs.Value == INT32_MIN && Rhs.Value == -1)
+                        ? 0
+                        : Lhs.Value % Rhs.Value;
+      }
+      break;
+    }
+  }
+  return Lhs;
+}
+
+class ExprFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(ExprFuzz, RandomExpressionsMatchHostEvaluator) {
+  VM Vm;
+  Klass &K = Vm.defineClass("Fuzz", {});
+  ExprCompiler Compiler(Vm, K);
+  ScopedThreadAttachment Main(Vm.threads(), "fuzz");
+  Verifier V(Vm);
+
+  SplitMix64 Rng(GetParam());
+  const std::vector<std::string> Params = {"p0", "p1", "p2"};
+
+  for (int Round = 0; Round < 60; ++Round) {
+    std::vector<int32_t> ParamValues = {
+        static_cast<int32_t>(Rng.nextBounded(2001)) - 1000,
+        static_cast<int32_t>(Rng.nextBounded(2001)) - 1000,
+        static_cast<int32_t>(Rng.nextBounded(7)) + 1,
+    };
+    RandomExpr E = genExpr(Rng, ParamValues, 3);
+
+    ExprCompiler::Result R = Compiler.compile(E.Source, Params);
+    ASSERT_TRUE(R.ok()) << E.Source << ": " << R.Error;
+    ASSERT_FALSE(V.verify(*R.M)) << E.Source;
+
+    std::vector<Value> Args;
+    for (int32_t P : ParamValues)
+      Args.push_back(Value::makeInt(P));
+    RunResult Run = Vm.call(*R.M, Args, Main.context());
+    // Division by a runtime-zero subexpression can trap; the generator
+    // guards the divisor's *value*, so traps must not occur.
+    ASSERT_TRUE(Run.ok()) << E.Source << ": " << trapName(Run.TrapKind);
+    EXPECT_EQ(Run.Result.asInt(), E.Value) << E.Source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u,
+                                           77u, 88u));

@@ -1,0 +1,135 @@
+//===- tests/heap_test.cpp - Object model and heap tests ------------------===//
+
+#include "heap/Heap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace thinlocks;
+
+TEST(ClassRegistry, AssignsSequentialIndices) {
+  ClassRegistry Registry;
+  const ClassInfo &A = Registry.registerClass("A", 0);
+  const ClassInfo &B = Registry.registerClass("B", 3);
+  EXPECT_EQ(A.Index, 0u);
+  EXPECT_EQ(B.Index, 1u);
+  EXPECT_EQ(Registry.size(), 2u);
+  EXPECT_EQ(Registry.classAt(1).Name, "B");
+  EXPECT_EQ(Registry.classAt(1).SlotCount, 3u);
+}
+
+TEST(Heap, ObjectHeaderIsThreeWordsPlusPadding) {
+  EXPECT_EQ(sizeof(Object), 16u);
+}
+
+TEST(Heap, AllocateInitializesHeader) {
+  Heap TheHeap;
+  const ClassInfo &Class = TheHeap.classes().registerClass("Point", 2);
+  Object *Obj = TheHeap.allocate(Class);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(Obj->classIndex(), Class.Index);
+  // The lock field (high 24 bits) starts zeroed = thin + unlocked.
+  EXPECT_EQ(Obj->lockWord().load() & 0xFFFFFF00u, 0u);
+  // The low byte of the lock word is the low byte of the identity hash.
+  EXPECT_EQ(Obj->lockWord().load() & 0xFFu, Obj->identityHash() & 0xFFu);
+  EXPECT_EQ(Obj->headerBits(), Obj->identityHash() & 0xFFu);
+}
+
+TEST(Heap, SlotsStartZeroedAndReadBack) {
+  Heap TheHeap;
+  const ClassInfo &Class = TheHeap.classes().registerClass("Trip", 3);
+  Object *Obj = TheHeap.allocate(Class);
+  for (uint32_t I = 0; I < 3; ++I)
+    EXPECT_EQ(Obj->slot(I), 0u);
+  Obj->setSlot(0, 42);
+  Obj->setSlot(2, UINT64_MAX);
+  EXPECT_EQ(Obj->slot(0), 42u);
+  EXPECT_EQ(Obj->slot(1), 0u);
+  EXPECT_EQ(Obj->slot(2), UINT64_MAX);
+}
+
+TEST(Heap, SlotArrayIsAligned) {
+  Heap TheHeap;
+  const ClassInfo &Class = TheHeap.classes().registerClass("A", 1);
+  for (int I = 0; I < 10; ++I) {
+    Object *Obj = TheHeap.allocate(Class);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(Obj->slots()) % 8, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(Obj) % alignof(Object), 0u);
+  }
+}
+
+TEST(Heap, IdentityHashesMostlyDistinct) {
+  Heap TheHeap;
+  const ClassInfo &Class = TheHeap.classes().registerClass("H", 0);
+  std::set<uint32_t> Hashes;
+  for (int I = 0; I < 1000; ++I)
+    Hashes.insert(TheHeap.allocate(Class)->identityHash());
+  EXPECT_GT(Hashes.size(), 990u);
+}
+
+TEST(Heap, CountsAllocations) {
+  Heap TheHeap;
+  const ClassInfo &Class = TheHeap.classes().registerClass("C", 4);
+  EXPECT_EQ(TheHeap.objectsAllocated(), 0u);
+  for (int I = 0; I < 25; ++I)
+    TheHeap.allocate(Class);
+  EXPECT_EQ(TheHeap.objectsAllocated(), 25u);
+  EXPECT_GE(TheHeap.bytesAllocated(), 25u * (16 + 4 * 8));
+}
+
+TEST(Heap, ObjectsSpanMultipleBlocks) {
+  Heap TheHeap(/*BlockBytes=*/4096);
+  const ClassInfo &Class = TheHeap.classes().registerClass("Big", 64);
+  std::vector<Object *> Objects;
+  for (int I = 0; I < 100; ++I)
+    Objects.push_back(TheHeap.allocate(Class));
+  // All objects remain valid (non-moving heap): spot-check writes.
+  for (size_t I = 0; I < Objects.size(); ++I)
+    Objects[I]->setSlot(0, I);
+  for (size_t I = 0; I < Objects.size(); ++I)
+    EXPECT_EQ(Objects[I]->slot(0), I);
+}
+
+TEST(Heap, OversizedObjectGetsDedicatedBlock) {
+  Heap TheHeap(/*BlockBytes=*/4096);
+  const ClassInfo &Class = TheHeap.classes().registerClass("Huge", 2048);
+  Object *Obj = TheHeap.allocate(Class);
+  Obj->setSlot(2047, 7);
+  EXPECT_EQ(Obj->slot(2047), 7u);
+}
+
+TEST(Heap, ClassOfResolvesThroughRegistry) {
+  Heap TheHeap;
+  const ClassInfo &A = TheHeap.classes().registerClass("A", 1);
+  const ClassInfo &B = TheHeap.classes().registerClass("B", 2);
+  Object *ObjA = TheHeap.allocate(A);
+  Object *ObjB = TheHeap.allocate(B);
+  EXPECT_EQ(TheHeap.classOf(*ObjA).Name, "A");
+  EXPECT_EQ(TheHeap.classOf(*ObjB).Name, "B");
+}
+
+TEST(Heap, ConcurrentAllocationProducesDistinctObjects) {
+  Heap TheHeap;
+  const ClassInfo &Class = TheHeap.classes().registerClass("C", 1);
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 2000;
+  std::vector<std::vector<Object *>> PerThreadObjects(NumThreads);
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < NumThreads; ++T)
+    Workers.emplace_back([&, T] {
+      for (int I = 0; I < PerThread; ++I)
+        PerThreadObjects[T].push_back(TheHeap.allocate(Class));
+    });
+  for (auto &W : Workers)
+    W.join();
+  std::set<Object *> All;
+  for (auto &List : PerThreadObjects)
+    for (Object *Obj : List)
+      All.insert(Obj);
+  EXPECT_EQ(All.size(), static_cast<size_t>(NumThreads) * PerThread);
+  EXPECT_EQ(TheHeap.objectsAllocated(),
+            static_cast<uint64_t>(NumThreads) * PerThread);
+}

@@ -1,0 +1,343 @@
+//===- tests/interpreter_test.cpp - microjvm interpreter tests ------------===//
+
+#include "vm/Assembler.h"
+#include "vm/Interpreter.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace thinlocks;
+using namespace thinlocks::vm;
+
+namespace {
+
+class InterpreterTest : public ::testing::Test {
+protected:
+  VM Vm;
+  ScopedThreadAttachment *Attachment = nullptr;
+  Klass *K = nullptr;
+
+  void SetUp() override {
+    Attachment = new ScopedThreadAttachment(Vm.threads(), "main");
+    K = &Vm.defineClass("Test", {FieldInfo{"x", ValueKind::Int, 0},
+                                 FieldInfo{"next", ValueKind::Ref, 1}});
+  }
+  void TearDown() override { delete Attachment; }
+
+  const ThreadContext &thread() { return Attachment->context(); }
+
+  RunResult run(const Method &M, std::vector<Value> Args) {
+    return Vm.call(M, Args, thread());
+  }
+};
+
+} // namespace
+
+TEST_F(InterpreterTest, ArithmeticAndReturn) {
+  Assembler Asm;
+  auto Code =
+      Asm.iconst(20).iconst(22).iadd().iret().finish();
+  Method &M = Vm.defineMethod(*K, "add", MethodTraits{}, 0, 0, Code);
+  RunResult R = run(M, {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 42);
+}
+
+TEST_F(InterpreterTest, AllArithmeticOps) {
+  struct Case {
+    Opcode Op;
+    int32_t A, B, Expected;
+  };
+  const Case Cases[] = {
+      {Opcode::Iadd, 3, 4, 7},    {Opcode::Isub, 10, 4, 6},
+      {Opcode::Imul, 6, 7, 42},   {Opcode::Idiv, 42, 5, 8},
+      {Opcode::Irem, 42, 5, 2},
+  };
+  for (const Case &C : Cases) {
+    Assembler Asm;
+    Asm.iconst(C.A).iconst(C.B);
+    switch (C.Op) {
+    case Opcode::Iadd:
+      Asm.iadd();
+      break;
+    case Opcode::Isub:
+      Asm.isub();
+      break;
+    case Opcode::Imul:
+      Asm.imul();
+      break;
+    case Opcode::Idiv:
+      Asm.idiv();
+      break;
+    case Opcode::Irem:
+      Asm.irem();
+      break;
+    default:
+      FAIL();
+    }
+    Method &M = Vm.defineMethod(*K, "arith", MethodTraits{}, 0, 0,
+                                Asm.iret().finish());
+    RunResult R = run(M, {});
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(R.Result.asInt(), C.Expected) << opcodeName(C.Op);
+  }
+}
+
+TEST_F(InterpreterTest, DivisionByZeroTraps) {
+  Assembler Asm;
+  Method &M = Vm.defineMethod(*K, "div0", MethodTraits{}, 0, 0,
+                              Asm.iconst(1).iconst(0).idiv().iret().finish());
+  RunResult R = run(M, {});
+  EXPECT_EQ(R.TrapKind, Trap::DivideByZero);
+}
+
+TEST_F(InterpreterTest, LoopComputesSum) {
+  // sum = 0; for (i = 0; i < n; i++) sum += i; return sum;
+  Assembler Asm;
+  Asm.iconst(0).istore(2); // sum
+  Asm.countedLoop(1, 0, [](Assembler &A) {
+    A.iload(2).iload(1).iadd().istore(2);
+  });
+  Method &M = Vm.defineMethod(*K, "sum", MethodTraits{}, 1, 3,
+                              Asm.iload(2).iret().finish());
+  RunResult R = run(M, {Value::makeInt(10)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 45);
+}
+
+TEST_F(InterpreterTest, ObjectFieldsRoundTrip) {
+  // obj = new Test; obj.x = 7; return obj.x + 1;
+  Assembler Asm;
+  Asm.newObject(static_cast<int32_t>(K->heapClass().Index)).astore(0);
+  Asm.aload(0).iconst(7).putField(0);
+  Asm.aload(0).getField(0).iconst(1).iadd().iret();
+  Method &M = Vm.defineMethod(*K, "fields", MethodTraits{}, 0, 1,
+                              Asm.finish());
+  RunResult R = run(M, {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 8);
+}
+
+TEST_F(InterpreterTest, RefFieldsHoldObjects) {
+  // a = new; b = new; a.next = b; return (a.next == b via ifnull check).
+  Assembler Asm;
+  int32_t ClassIndex = static_cast<int32_t>(K->heapClass().Index);
+  Asm.newObject(ClassIndex).astore(0);
+  Asm.newObject(ClassIndex).astore(1);
+  Asm.aload(0).aload(1).putField(1);
+  auto NullCase = Asm.newLabel();
+  Asm.aload(0).getField(1).ifNull(NullCase);
+  Asm.iconst(1).iret();
+  Asm.bind(NullCase);
+  Asm.iconst(0).iret();
+  Method &M = Vm.defineMethod(*K, "refs", MethodTraits{}, 0, 2,
+                              Asm.finish());
+  RunResult R = run(M, {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 1);
+}
+
+TEST_F(InterpreterTest, GetFieldOnNullTraps) {
+  Assembler Asm;
+  Asm.aconstNull().getField(0).iret();
+  Method &M = Vm.defineMethod(*K, "npe", MethodTraits{}, 0, 0,
+                              Asm.finish());
+  EXPECT_EQ(run(M, {}).TrapKind, Trap::NullPointer);
+}
+
+TEST_F(InterpreterTest, MonitorEnterExitBalancesViaBackend) {
+  Object *Obj = Vm.newInstance(*K);
+  Assembler Asm;
+  Asm.synchronizedOn(0, [](Assembler &A) { A.nop(); });
+  Asm.iconst(0).iret();
+  Method &M = Vm.defineMethod(*K, "syncBlock", MethodTraits{}, 1, 1,
+                              Asm.finish());
+  RunResult R = run(M, {Value::makeRef(Obj)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(Vm.sync().holdsLock(Obj, thread()));
+}
+
+TEST_F(InterpreterTest, MonitorEnterOnNullTraps) {
+  Assembler Asm;
+  Asm.aconstNull().monitorEnter().ret();
+  Method &M = Vm.defineMethod(*K, "nullEnter", MethodTraits{}, 0, 0,
+                              Asm.finish());
+  EXPECT_EQ(run(M, {}).TrapKind, Trap::NullPointer);
+}
+
+TEST_F(InterpreterTest, UnbalancedMonitorExitTraps) {
+  Object *Obj = Vm.newInstance(*K);
+  Assembler Asm;
+  Asm.aload(0).monitorExit().ret();
+  Method &M = Vm.defineMethod(*K, "badExit", MethodTraits{}, 1, 1,
+                              Asm.finish());
+  EXPECT_EQ(run(M, {Value::makeRef(Obj)}).TrapKind,
+            Trap::IllegalMonitorState);
+}
+
+TEST_F(InterpreterTest, SynchronizedMethodLocksReceiver) {
+  Object *Obj = Vm.newInstance(*K);
+  // A synchronized method that observes its own lock via a native call
+  // would be circular; instead check postcondition + nesting from a
+  // wrapper: outer locks obj, calls sync method (nested), returns.
+  MethodTraits Sync;
+  Sync.IsSynchronized = true;
+  Assembler Body;
+  Body.iconst(99).iret();
+  Method &Inner = Vm.defineMethod(*K, "inner", Sync, 1, 1, Body.finish());
+
+  Assembler Outer;
+  Outer.synchronizedOn(0, [&](Assembler &A) {
+    A.aload(0).invoke(Inner.Id).istore(1);
+  });
+  Outer.iload(1).iret();
+  Method &M = Vm.defineMethod(*K, "outer", MethodTraits{}, 1, 2,
+                              Outer.finish());
+  RunResult R = run(M, {Value::makeRef(Obj)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 99);
+  EXPECT_FALSE(Vm.sync().holdsLock(Obj, thread()));
+}
+
+TEST_F(InterpreterTest, StaticSynchronizedLocksClassObject) {
+  MethodTraits StaticSync;
+  StaticSync.IsSynchronized = true;
+  StaticSync.IsStatic = true;
+  Assembler Asm;
+  Asm.iconst(5).iret();
+  Method &M = Vm.defineMethod(*K, "staticSync", StaticSync, 0, 0,
+                              Asm.finish());
+  RunResult R = run(M, {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 5);
+  EXPECT_FALSE(Vm.sync().holdsLock(K->classObject(), thread()));
+}
+
+TEST_F(InterpreterTest, SynchronizedMethodOnNullReceiverTraps) {
+  MethodTraits Sync;
+  Sync.IsSynchronized = true;
+  Assembler Asm;
+  Asm.iconst(0).iret();
+  Method &M = Vm.defineMethod(*K, "syncNull", Sync, 1, 1, Asm.finish());
+  EXPECT_EQ(run(M, {Value::null()}).TrapKind, Trap::NullPointer);
+}
+
+TEST_F(InterpreterTest, TrapInsideSynchronizedMethodReleasesMonitor) {
+  Object *Obj = Vm.newInstance(*K);
+  MethodTraits Sync;
+  Sync.IsSynchronized = true;
+  Assembler Asm;
+  Asm.iconst(1).iconst(0).idiv().iret(); // Traps while holding the lock.
+  Method &M = Vm.defineMethod(*K, "trapSync", Sync, 1, 1, Asm.finish());
+  RunResult R = run(M, {Value::makeRef(Obj)});
+  EXPECT_EQ(R.TrapKind, Trap::DivideByZero);
+  // The implicit handler released the receiver's monitor.
+  EXPECT_FALSE(Vm.sync().holdsLock(Obj, thread()));
+  Vm.sync().lock(Obj, thread());
+  Vm.sync().unlock(Obj, thread());
+}
+
+TEST_F(InterpreterTest, RecursionComputesFactorial) {
+  // fact(n) = n < 2 ? 1 : n * fact(n - 1).  Self-calls need the method's
+  // own id before definition; ids are sequential, so a probe method
+  // reveals the next id.
+  MethodTraits Plain;
+  Method &Probe = Vm.defineMethod(*K, "probe", Plain, 0, 0,
+                                  Assembler().ret().finish());
+  uint32_t SelfId = Probe.Id + 1;
+
+  Assembler Fact;
+  auto BaseL = Fact.newLabel();
+  Fact.iload(0).iconst(2).ifIcmpLt(BaseL);
+  Fact.iload(0);
+  Fact.iload(0).iconst(1).isub();
+  Fact.invoke(SelfId);
+  Fact.imul().iret();
+  Fact.bind(BaseL);
+  Fact.iconst(1).iret();
+  Method &M = Vm.defineMethod(*K, "fact", Plain, 1, 1, Fact.finish());
+  ASSERT_EQ(M.Id, SelfId);
+
+  RunResult R = run(M, {Value::makeInt(10)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 3628800);
+}
+
+TEST_F(InterpreterTest, DeepRecursionOverflowsGracefully) {
+  MethodTraits Plain;
+  Method &Probe = Vm.defineMethod(*K, "probe2", Plain, 0, 0,
+                                  Assembler().ret().finish());
+  uint32_t SelfId = Probe.Id + 1;
+  Assembler Asm;
+  Asm.iload(0).iconst(1).iadd().istore(0);
+  Asm.iload(0).invoke(SelfId).iret(); // Infinite self-recursion.
+  Method &M = Vm.defineMethod(*K, "infinite", Plain, 1, 1, Asm.finish());
+  ASSERT_EQ(M.Id, SelfId);
+  RunResult R = run(M, {Value::makeInt(0)});
+  EXPECT_EQ(R.TrapKind, Trap::StackOverflow);
+}
+
+TEST_F(InterpreterTest, UnknownMethodTraps) {
+  Assembler Asm;
+  Asm.invoke(999999).ret();
+  Method &M = Vm.defineMethod(*K, "bad", MethodTraits{}, 0, 0,
+                              Asm.finish());
+  EXPECT_EQ(run(M, {}).TrapKind, Trap::UnknownMethod);
+}
+
+TEST_F(InterpreterTest, TypeConfusionTraps) {
+  // iload of a ref local is a verification error at runtime.
+  Assembler Asm;
+  Asm.iload(0).iret();
+  Method &M = Vm.defineMethod(*K, "confused", MethodTraits{}, 1, 1,
+                              Asm.finish());
+  EXPECT_EQ(run(M, {Value::null()}).TrapKind, Trap::BadBytecode);
+}
+
+TEST_F(InterpreterTest, FallingOffCodeEndTraps) {
+  Assembler Asm;
+  Asm.nop();
+  Method &M = Vm.defineMethod(*K, "fall", MethodTraits{}, 0, 0,
+                              Asm.finish());
+  EXPECT_EQ(run(M, {}).TrapKind, Trap::BadBytecode);
+}
+
+TEST_F(InterpreterTest, StackOpsDupPopSwap) {
+  Assembler Asm;
+  Asm.iconst(1).iconst(2).swap().isub().iret(); // 2 - 1 = 1
+  Method &M = Vm.defineMethod(*K, "swapTest", MethodTraits{}, 0, 0,
+                              Asm.finish());
+  RunResult R = run(M, {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 1);
+
+  Assembler Asm2;
+  Asm2.iconst(21).dup().iadd().iret();
+  Method &M2 = Vm.defineMethod(*K, "dupTest", MethodTraits{}, 0, 0,
+                               Asm2.finish());
+  EXPECT_EQ(run(M2, {}).Result.asInt(), 42);
+
+  Assembler Asm3;
+  Asm3.iconst(7).iconst(9).pop().iret();
+  Method &M3 = Vm.defineMethod(*K, "popTest", MethodTraits{}, 0, 0,
+                               Asm3.finish());
+  EXPECT_EQ(run(M3, {}).Result.asInt(), 7);
+}
+
+TEST_F(InterpreterTest, InstructionCountingWorks) {
+  // counted(limit): accum = 0; loop limit times { accum++ }; return it.
+  Assembler Asm;
+  Asm.iconst(0).istore(1);
+  Asm.countedLoop(/*CounterLocal=*/2, /*LimitLocal=*/0,
+                  [](Assembler &A) { A.iinc(1, 1); });
+  Asm.iload(1).iret();
+  Method &M = Vm.defineMethod(*K, "counted", MethodTraits{}, 1, 3,
+                              Asm.finish());
+  Interpreter Interp(Vm, thread());
+  RunResult R = Interp.run(M, std::vector<Value>{Value::makeInt(5)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 5);
+  // Exact counts are an implementation detail, but the total must scale
+  // with the iteration count (>= ~6 instructions per iteration).
+  EXPECT_GT(Interp.instructionsExecuted(), 30u);
+}

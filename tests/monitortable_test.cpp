@@ -1,0 +1,89 @@
+//===- tests/monitortable_test.cpp - Monitor index table tests ------------===//
+
+#include "fatlock/MonitorTable.h"
+#include "threads/ThreadRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace thinlocks;
+
+TEST(MonitorTable, IndexZeroIsNeverAllocated) {
+  MonitorTable Table;
+  EXPECT_EQ(Table.allocate(), 1u);
+  EXPECT_EQ(Table.allocate(), 2u);
+}
+
+TEST(MonitorTable, GetReturnsDistinctMonitors) {
+  MonitorTable Table;
+  uint32_t A = Table.allocate();
+  uint32_t B = Table.allocate();
+  EXPECT_NE(Table.get(A), nullptr);
+  EXPECT_NE(Table.get(B), nullptr);
+  EXPECT_NE(Table.get(A), Table.get(B));
+  EXPECT_EQ(Table.get(A), Table.get(A));
+}
+
+TEST(MonitorTable, LiveCountTracksAllocations) {
+  MonitorTable Table;
+  EXPECT_EQ(Table.liveMonitorCount(), 0u);
+  for (int I = 0; I < 10; ++I)
+    Table.allocate();
+  EXPECT_EQ(Table.liveMonitorCount(), 10u);
+}
+
+TEST(MonitorTable, AllocationsSpanSegments) {
+  MonitorTable Table;
+  std::set<FatLock *> Monitors;
+  // Cross at least two segment boundaries.
+  uint32_t Count = MonitorTable::SegmentSize * 2 + 10;
+  uint32_t LastIndex = 0;
+  for (uint32_t I = 0; I < Count; ++I) {
+    LastIndex = Table.allocate();
+    ASSERT_NE(LastIndex, 0u);
+    Monitors.insert(Table.get(LastIndex));
+  }
+  EXPECT_EQ(LastIndex, Count);
+  EXPECT_EQ(Monitors.size(), Count);
+}
+
+TEST(MonitorTable, MonitorsAreUsableAcrossSegments) {
+  MonitorTable Table;
+  ThreadRegistry Registry;
+  ScopedThreadAttachment Attachment(Registry);
+  uint32_t Index = 0;
+  for (uint32_t I = 0; I < MonitorTable::SegmentSize + 1; ++I)
+    Index = Table.allocate();
+  FatLock *Lock = Table.get(Index);
+  Lock->lock(Attachment.context());
+  EXPECT_TRUE(Lock->heldBy(Attachment.context()));
+  Lock->unlock(Attachment.context());
+}
+
+TEST(MonitorTable, ConcurrentAllocationYieldsUniqueIndices) {
+  MonitorTable Table;
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 1000;
+  std::vector<std::vector<uint32_t>> Indices(NumThreads);
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < NumThreads; ++T)
+    Workers.emplace_back([&Table, &Indices, T] {
+      for (int I = 0; I < PerThread; ++I)
+        Indices[T].push_back(Table.allocate());
+    });
+  for (auto &W : Workers)
+    W.join();
+  std::set<uint32_t> All;
+  for (auto &List : Indices)
+    for (uint32_t Index : List) {
+      EXPECT_NE(Index, 0u);
+      EXPECT_TRUE(All.insert(Index).second);
+    }
+  EXPECT_EQ(All.size(), static_cast<size_t>(NumThreads) * PerThread);
+  // Concurrent readers resolve every index.
+  for (uint32_t Index : All)
+    EXPECT_NE(Table.get(Index), nullptr);
+}

@@ -1,0 +1,194 @@
+//===- tests/nativelibrary_test.cpp - Thread-safe library classes ---------===//
+
+#include "vm/NativeLibrary.h"
+
+#include <gtest/gtest.h>
+
+using namespace thinlocks;
+using namespace thinlocks::vm;
+
+namespace {
+
+class NativeLibraryTest : public ::testing::Test {
+protected:
+  VM Vm;
+  NativeLibrary Lib{Vm};
+  ScopedThreadAttachment *Attachment = nullptr;
+
+  void SetUp() override {
+    Attachment = new ScopedThreadAttachment(Vm.threads(), "main");
+  }
+  void TearDown() override { delete Attachment; }
+
+  const ThreadContext &thread() { return Attachment->context(); }
+
+  Value call(const Method &M, std::vector<Value> Args) {
+    RunResult R = Vm.call(M, Args, thread());
+    EXPECT_EQ(R.TrapKind, Trap::None) << trapName(R.TrapKind);
+    return R.Result;
+  }
+};
+
+} // namespace
+
+TEST_F(NativeLibraryTest, VectorAddAndGet) {
+  Object *Vec = Vm.newInstance(Lib.vectorClass());
+  for (int I = 0; I < 10; ++I)
+    call(Lib.vectorAddElement(),
+         {Value::makeRef(Vec), Value::makeInt(I * I)});
+  EXPECT_EQ(call(Lib.vectorSize(), {Value::makeRef(Vec)}).asInt(), 10);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(call(Lib.vectorElementAt(),
+                   {Value::makeRef(Vec), Value::makeInt(I)})
+                  .asInt(),
+              I * I);
+}
+
+TEST_F(NativeLibraryTest, VectorElementAtOutOfBoundsTraps) {
+  Object *Vec = Vm.newInstance(Lib.vectorClass());
+  RunResult R =
+      Vm.call(Lib.vectorElementAt(),
+              std::vector<Value>{Value::makeRef(Vec), Value::makeInt(0)},
+              thread());
+  EXPECT_EQ(R.TrapKind, Trap::IndexOutOfBounds);
+  // The synchronized-method monitor was released despite the trap.
+  EXPECT_FALSE(Vm.sync().holdsLock(Vec, thread()));
+}
+
+TEST_F(NativeLibraryTest, VectorRemoveAllElements) {
+  Object *Vec = Vm.newInstance(Lib.vectorClass());
+  call(Lib.vectorAddElement(), {Value::makeRef(Vec), Value::makeInt(1)});
+  call(Lib.vectorRemoveAll(), {Value::makeRef(Vec)});
+  EXPECT_EQ(call(Lib.vectorSize(), {Value::makeRef(Vec)}).asInt(), 0);
+}
+
+TEST_F(NativeLibraryTest, VectorsAreIndependent) {
+  Object *A = Vm.newInstance(Lib.vectorClass());
+  Object *B = Vm.newInstance(Lib.vectorClass());
+  call(Lib.vectorAddElement(), {Value::makeRef(A), Value::makeInt(1)});
+  EXPECT_EQ(call(Lib.vectorSize(), {Value::makeRef(A)}).asInt(), 1);
+  EXPECT_EQ(call(Lib.vectorSize(), {Value::makeRef(B)}).asInt(), 0);
+}
+
+TEST_F(NativeLibraryTest, VectorHoldsReferences) {
+  Object *Vec = Vm.newInstance(Lib.vectorClass());
+  Object *Element = Vm.newInstance(Lib.vectorClass());
+  call(Lib.vectorAddElement(),
+       {Value::makeRef(Vec), Value::makeRef(Element)});
+  Value Out = call(Lib.vectorElementAt(),
+                   {Value::makeRef(Vec), Value::makeInt(0)});
+  EXPECT_EQ(Out.asRef(), Element);
+}
+
+TEST_F(NativeLibraryTest, HashtablePutGetContains) {
+  Object *Table = Vm.newInstance(Lib.hashtableClass());
+  Value Old = call(Lib.hashtablePut(), {Value::makeRef(Table),
+                                        Value::makeInt(7),
+                                        Value::makeInt(49)});
+  EXPECT_EQ(Old.asRef(), nullptr); // No previous mapping.
+  Old = call(Lib.hashtablePut(), {Value::makeRef(Table),
+                                  Value::makeInt(7), Value::makeInt(50)});
+  EXPECT_EQ(Old.asInt(), 49); // Previous value returned.
+  EXPECT_EQ(call(Lib.hashtableGet(),
+                 {Value::makeRef(Table), Value::makeInt(7)})
+                .asInt(),
+            50);
+  EXPECT_EQ(call(Lib.hashtableGet(),
+                 {Value::makeRef(Table), Value::makeInt(8)})
+                .asRef(),
+            nullptr);
+  EXPECT_EQ(call(Lib.hashtableContainsKey(),
+                 {Value::makeRef(Table), Value::makeInt(7)})
+                .asInt(),
+            1);
+  EXPECT_EQ(call(Lib.hashtableSize(), {Value::makeRef(Table)}).asInt(), 1);
+}
+
+TEST_F(NativeLibraryTest, BitSetSetGetClear) {
+  Object *Bits = Vm.newInstance(Lib.bitSetClass());
+  EXPECT_EQ(call(Lib.bitSetGet(), {Value::makeRef(Bits),
+                                   Value::makeInt(100)})
+                .asInt(),
+            0);
+  call(Lib.bitSetSet(), {Value::makeRef(Bits), Value::makeInt(100)});
+  EXPECT_EQ(call(Lib.bitSetGet(), {Value::makeRef(Bits),
+                                   Value::makeInt(100)})
+                .asInt(),
+            1);
+  EXPECT_EQ(call(Lib.bitSetGet(), {Value::makeRef(Bits),
+                                   Value::makeInt(101)})
+                .asInt(),
+            0);
+  call(Lib.bitSetClear(), {Value::makeRef(Bits), Value::makeInt(100)});
+  EXPECT_EQ(call(Lib.bitSetGet(), {Value::makeRef(Bits),
+                                   Value::makeInt(100)})
+                .asInt(),
+            0);
+}
+
+TEST_F(NativeLibraryTest, BitSetGetSynchronizesInternally) {
+  // The jax pattern: get() is not a synchronized method, but it enters a
+  // synchronized block; afterwards the caller must not hold the monitor.
+  Object *Bits = Vm.newInstance(Lib.bitSetClass());
+  call(Lib.bitSetGet(), {Value::makeRef(Bits), Value::makeInt(3)});
+  EXPECT_FALSE(Vm.sync().holdsLock(Bits, thread()));
+  EXPECT_FALSE(Lib.bitSetGet().Traits.IsSynchronized);
+  EXPECT_TRUE(Lib.bitSetSet().Traits.IsSynchronized);
+}
+
+TEST_F(NativeLibraryTest, BitSetNegativeIndexTraps) {
+  Object *Bits = Vm.newInstance(Lib.bitSetClass());
+  RunResult R = Vm.call(
+      Lib.bitSetSet(),
+      std::vector<Value>{Value::makeRef(Bits), Value::makeInt(-1)},
+      thread());
+  EXPECT_EQ(R.TrapKind, Trap::IndexOutOfBounds);
+}
+
+TEST_F(NativeLibraryTest, StringBufferAppendReturnsThis) {
+  Object *Sb = Vm.newInstance(Lib.stringBufferClass());
+  Value Out = call(Lib.stringBufferAppend(),
+                   {Value::makeRef(Sb), Value::makeInt('a')});
+  EXPECT_EQ(Out.asRef(), Sb);
+  call(Lib.stringBufferAppend(), {Value::makeRef(Sb), Value::makeInt('b')});
+  EXPECT_EQ(call(Lib.stringBufferLength(), {Value::makeRef(Sb)}).asInt(),
+            2);
+}
+
+TEST_F(NativeLibraryTest, ThreadYieldRuns) {
+  call(Lib.threadYield(), {});
+}
+
+TEST_F(NativeLibraryTest, LibraryMethodsAreSynchronized) {
+  EXPECT_TRUE(Lib.vectorAddElement().Traits.IsSynchronized);
+  EXPECT_TRUE(Lib.vectorElementAt().Traits.IsSynchronized);
+  EXPECT_TRUE(Lib.vectorSize().Traits.IsSynchronized);
+  EXPECT_TRUE(Lib.hashtablePut().Traits.IsSynchronized);
+  EXPECT_TRUE(Lib.hashtableGet().Traits.IsSynchronized);
+  EXPECT_TRUE(Lib.stringBufferAppend().Traits.IsSynchronized);
+  EXPECT_FALSE(Lib.threadYield().Traits.IsSynchronized);
+}
+
+TEST_F(NativeLibraryTest, ConcurrentVectorAppendsAreAtomic) {
+  Object *Vec = Vm.newInstance(Lib.vectorClass());
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 500;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < NumThreads; ++T) {
+    Workers.emplace_back([&, T] {
+      ScopedThreadAttachment Worker(Vm.threads());
+      for (int I = 0; I < PerThread; ++I) {
+        RunResult R = Vm.call(
+            Lib.vectorAddElement(),
+            std::vector<Value>{Value::makeRef(Vec),
+                               Value::makeInt(T * PerThread + I)},
+            Worker.context());
+        ASSERT_EQ(R.TrapKind, Trap::None);
+      }
+    });
+  }
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(call(Lib.vectorSize(), {Value::makeRef(Vec)}).asInt(),
+            NumThreads * PerThread);
+}

@@ -1,0 +1,265 @@
+//===- tests/support_test.cpp - Support utility tests ---------------------===//
+
+#include "support/Histogram.h"
+#include "support/MathExtras.h"
+#include "support/SpinWait.h"
+#include "support/SplitMix64.h"
+#include "support/StatsCounter.h"
+#include "support/TableFormatter.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+using namespace thinlocks;
+
+//===----------------------------------------------------------------------===//
+// MathExtras
+//===----------------------------------------------------------------------===//
+
+TEST(MathExtras, PowerOf2Detection) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(1ull << 40));
+  EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(MathExtras, NextPowerOf2) {
+  EXPECT_EQ(nextPowerOf2(0), 1u);
+  EXPECT_EQ(nextPowerOf2(1), 1u);
+  EXPECT_EQ(nextPowerOf2(2), 2u);
+  EXPECT_EQ(nextPowerOf2(3), 4u);
+  EXPECT_EQ(nextPowerOf2(1000), 1024u);
+}
+
+TEST(MathExtras, AlignTo) {
+  EXPECT_EQ(alignTo(0, 8), 0u);
+  EXPECT_EQ(alignTo(1, 8), 8u);
+  EXPECT_EQ(alignTo(8, 8), 8u);
+  EXPECT_EQ(alignTo(9, 8), 16u);
+  EXPECT_EQ(alignTo(17, 16), 32u);
+}
+
+TEST(MathExtras, Log2Floor) {
+  EXPECT_EQ(log2Floor(1), 0u);
+  EXPECT_EQ(log2Floor(2), 1u);
+  EXPECT_EQ(log2Floor(3), 1u);
+  EXPECT_EQ(log2Floor(1024), 10u);
+  EXPECT_EQ(log2Floor(1025), 10u);
+}
+
+TEST(MathExtras, ExtractBits) {
+  EXPECT_EQ(extractBits(0xABCD1234u, 0, 8), 0x34u);
+  EXPECT_EQ(extractBits(0xABCD1234u, 8, 8), 0x12u);
+  EXPECT_EQ(extractBits(0xABCD1234u, 16, 16), 0xABCDu);
+  EXPECT_EQ(extractBits(0xFFFFFFFFu, 0, 32), 0xFFFFFFFFu);
+}
+
+TEST(MathExtras, SaturatingAdd) {
+  EXPECT_EQ(saturatingAdd(1, 2), 3u);
+  EXPECT_EQ(saturatingAdd(UINT64_MAX, 1), UINT64_MAX);
+  EXPECT_EQ(saturatingAdd(UINT64_MAX - 1, 1), UINT64_MAX);
+}
+
+//===----------------------------------------------------------------------===//
+// SplitMix64
+//===----------------------------------------------------------------------===//
+
+TEST(SplitMix64, DeterministicFromSeed) {
+  SplitMix64 A(7), B(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(SplitMix64, BoundedStaysInBounds) {
+  SplitMix64 Rng(99);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(Rng.nextBounded(17), 17u);
+}
+
+TEST(SplitMix64, BoundedCoversRange) {
+  SplitMix64 Rng(3);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 400; ++I)
+    Seen.insert(Rng.nextBounded(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(SplitMix64, DoubleInUnitInterval) {
+  SplitMix64 Rng(5);
+  for (int I = 0; I < 1000; ++I) {
+    double V = Rng.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(SplitMix64, NextBoolRespectsProbabilityRoughly) {
+  SplitMix64 Rng(11);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += Rng.nextBool(0.25) ? 1 : 0;
+  EXPECT_GT(Hits, 2000);
+  EXPECT_LT(Hits, 3000);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram<3> H;
+  H.record(0);
+  H.record(1);
+  H.record(1);
+  H.record(2);
+  H.record(3); // overflow
+  H.record(99); // overflow
+  EXPECT_EQ(H.count(0), 1u);
+  EXPECT_EQ(H.count(1), 2u);
+  EXPECT_EQ(H.count(2), 1u);
+  EXPECT_EQ(H.count(Histogram<3>::OverflowBucket), 2u);
+  EXPECT_EQ(H.total(), 6u);
+}
+
+TEST(Histogram, Fractions) {
+  Histogram<2> H;
+  EXPECT_DOUBLE_EQ(H.fraction(0), 0.0);
+  H.record(0);
+  H.record(0);
+  H.record(1);
+  H.record(5);
+  EXPECT_DOUBLE_EQ(H.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(H.fraction(1), 0.25);
+  EXPECT_DOUBLE_EQ(H.fraction(Histogram<2>::OverflowBucket), 0.25);
+}
+
+TEST(Histogram, MergeAndReset) {
+  Histogram<2> A, B;
+  A.record(0);
+  B.record(0);
+  B.record(1);
+  A.merge(B);
+  EXPECT_EQ(A.count(0), 2u);
+  EXPECT_EQ(A.count(1), 1u);
+  A.reset();
+  EXPECT_EQ(A.total(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// StatsCounter
+//===----------------------------------------------------------------------===//
+
+TEST(StatsCounter, IncrementAndReset) {
+  StatsCounter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.increment();
+  C.increment(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(StatsCounter, ConcurrentIncrementsAllLand) {
+  StatsCounter C;
+  constexpr int Threads = 4;
+  constexpr int PerThread = 10000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&C] {
+      for (int I = 0; I < PerThread; ++I)
+        C.increment();
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(Threads) * PerThread);
+}
+
+//===----------------------------------------------------------------------===//
+// Timer
+//===----------------------------------------------------------------------===//
+
+TEST(Timer, MonotonicNanosAdvances) {
+  uint64_t A = monotonicNanos();
+  uint64_t B = monotonicNanos();
+  EXPECT_GE(B, A);
+}
+
+TEST(Timer, StopWatchMeasuresSomething) {
+  StopWatch Watch;
+  volatile uint64_t X = 0;
+  for (int I = 0; I < 100000; ++I)
+    X = X + 1;
+  EXPECT_GT(Watch.elapsedNanos(), 0u);
+}
+
+TEST(Timer, MedianElapsedRunsBodyExactly) {
+  int Runs = 0;
+  medianElapsedNanos(5, [&Runs] { ++Runs; });
+  EXPECT_EQ(Runs, 5);
+}
+
+//===----------------------------------------------------------------------===//
+// SpinWait
+//===----------------------------------------------------------------------===//
+
+TEST(SpinWait, BackoffGrowsThenYields) {
+  SpinWait Spinner;
+  for (int I = 0; I < 10; ++I)
+    Spinner.spinOnce();
+  EXPECT_GT(Spinner.totalSpins(), 10u);
+  EXPECT_GT(Spinner.totalYields(), 0u);
+}
+
+TEST(SpinWait, NoYieldInEarlyRounds) {
+  SpinWait Spinner;
+  for (unsigned I = 0; I < SpinWait::YieldThresholdRound; ++I)
+    Spinner.spinOnce();
+  EXPECT_EQ(Spinner.totalYields(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// TableFormatter
+//===----------------------------------------------------------------------===//
+
+TEST(TableFormatter, AlignsColumns) {
+  TableFormatter Table({"name", "value"});
+  Table.addRow({"a", "1"});
+  Table.addRow({"longer", "12345"});
+  std::string Out = Table.render();
+  EXPECT_NE(Out.find("name   | value"), std::string::npos);
+  EXPECT_NE(Out.find("a      |     1"), std::string::npos);
+  EXPECT_NE(Out.find("longer | 12345"), std::string::npos);
+}
+
+TEST(TableFormatter, FormatWithCommas) {
+  EXPECT_EQ(TableFormatter::formatWithCommas(0), "0");
+  EXPECT_EQ(TableFormatter::formatWithCommas(999), "999");
+  EXPECT_EQ(TableFormatter::formatWithCommas(1000), "1,000");
+  EXPECT_EQ(TableFormatter::formatWithCommas(12975639), "12,975,639");
+}
+
+TEST(TableFormatter, FormatDouble) {
+  EXPECT_EQ(TableFormatter::formatDouble(1.234, 2), "1.23");
+  EXPECT_EQ(TableFormatter::formatDouble(22.7, 1), "22.7");
+}
+
+TEST(TableFormatter, SeparatorRows) {
+  TableFormatter Table({"x"});
+  Table.addRow({"1"});
+  Table.addSeparator();
+  Table.addRow({"2"});
+  std::string Out = Table.render();
+  // Header separator plus the explicit one.
+  size_t First = Out.find("-");
+  EXPECT_NE(First, std::string::npos);
+}

@@ -1,0 +1,141 @@
+//===- tests/threads_test.cpp - Thread registry tests ---------------------===//
+
+#include "threads/ThreadRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace thinlocks;
+
+TEST(ThreadRegistry, AttachAssignsNonZeroIndexAndShiftedForm) {
+  ThreadRegistry Registry;
+  ThreadContext Ctx = Registry.attach("main");
+  ASSERT_TRUE(Ctx.isValid());
+  EXPECT_NE(Ctx.index(), 0);
+  EXPECT_EQ(Ctx.shiftedIndex(), static_cast<uint32_t>(Ctx.index()) << 16);
+  Registry.detach(Ctx);
+  EXPECT_FALSE(Ctx.isValid());
+}
+
+TEST(ThreadRegistry, IndicesAreUniqueWhileAttached) {
+  ThreadRegistry Registry;
+  std::vector<ThreadContext> Contexts;
+  std::set<uint16_t> Seen;
+  for (int I = 0; I < 100; ++I) {
+    Contexts.push_back(Registry.attach());
+    EXPECT_TRUE(Seen.insert(Contexts.back().index()).second);
+  }
+  EXPECT_EQ(Registry.liveThreadCount(), 100u);
+  for (auto &Ctx : Contexts)
+    Registry.detach(Ctx);
+  EXPECT_EQ(Registry.liveThreadCount(), 0u);
+}
+
+TEST(ThreadRegistry, DetachedIndicesAreReused) {
+  ThreadRegistry Registry;
+  ThreadContext A = Registry.attach();
+  uint16_t Index = A.index();
+  Registry.detach(A);
+  ThreadContext B = Registry.attach();
+  EXPECT_EQ(B.index(), Index);
+  Registry.detach(B);
+}
+
+TEST(ThreadRegistry, InfoReflectsAttachment) {
+  ThreadRegistry Registry;
+  ThreadContext Ctx = Registry.attach("worker-7");
+  const ThreadInfo *Info = Registry.info(Ctx.index());
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->Name, "worker-7");
+  EXPECT_EQ(Info->Index, Ctx.index());
+  uint16_t Index = Ctx.index();
+  Registry.detach(Ctx);
+  EXPECT_EQ(Registry.info(Index), nullptr);
+}
+
+TEST(ThreadRegistry, InfoRejectsReservedAndOutOfRange) {
+  ThreadRegistry Registry;
+  EXPECT_EQ(Registry.info(0), nullptr);
+  EXPECT_EQ(Registry.info(ThreadRegistry::MaxThreadIndex), nullptr);
+}
+
+TEST(ThreadRegistry, PeakCountTracksHighWater) {
+  ThreadRegistry Registry;
+  ThreadContext A = Registry.attach();
+  ThreadContext B = Registry.attach();
+  EXPECT_EQ(Registry.peakThreadCount(), 2u);
+  Registry.detach(A);
+  ThreadContext C = Registry.attach();
+  EXPECT_EQ(Registry.peakThreadCount(), 2u);
+  Registry.detach(B);
+  Registry.detach(C);
+}
+
+TEST(ThreadRegistry, ScopedAttachmentPublishesCurrentContext) {
+  ThreadRegistry Registry;
+  EXPECT_FALSE(ThreadRegistry::currentContext().isValid());
+  {
+    ScopedThreadAttachment Attachment(Registry, "scoped");
+    EXPECT_TRUE(Attachment.context().isValid());
+    EXPECT_EQ(ThreadRegistry::currentContext().index(),
+              Attachment.context().index());
+  }
+  EXPECT_FALSE(ThreadRegistry::currentContext().isValid());
+  EXPECT_EQ(Registry.liveThreadCount(), 0u);
+}
+
+TEST(ThreadRegistry, ScopedAttachmentsNest) {
+  ThreadRegistry Registry;
+  ScopedThreadAttachment Outer(Registry, "outer");
+  uint16_t OuterIndex = Outer.context().index();
+  {
+    ScopedThreadAttachment Inner(Registry, "inner");
+    EXPECT_NE(Inner.context().index(), OuterIndex);
+    EXPECT_EQ(ThreadRegistry::currentContext().index(),
+              Inner.context().index());
+  }
+  EXPECT_EQ(ThreadRegistry::currentContext().index(), OuterIndex);
+}
+
+TEST(ThreadRegistry, ConcurrentAttachDetachKeepsIndicesUnique) {
+  ThreadRegistry Registry;
+  constexpr int NumThreads = 8;
+  constexpr int Rounds = 200;
+  std::atomic<bool> Failed{false};
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < NumThreads; ++T) {
+    Workers.emplace_back([&Registry, &Failed] {
+      for (int I = 0; I < Rounds; ++I) {
+        ThreadContext Ctx = Registry.attach();
+        if (!Ctx.isValid() || Ctx.index() == 0) {
+          Failed.store(true);
+          return;
+        }
+        const ThreadInfo *Info = Registry.info(Ctx.index());
+        if (!Info || Info->Index != Ctx.index())
+          Failed.store(true);
+        Registry.detach(Ctx);
+      }
+    });
+  }
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_FALSE(Failed.load());
+  EXPECT_EQ(Registry.liveThreadCount(), 0u);
+}
+
+TEST(ThreadRegistry, ManyAttachmentsStayBelowIndexLimit) {
+  ThreadRegistry Registry;
+  std::vector<ThreadContext> Contexts;
+  for (int I = 0; I < 1000; ++I) {
+    Contexts.push_back(Registry.attach());
+    ASSERT_TRUE(Contexts.back().isValid());
+    ASSERT_LE(Contexts.back().index(), ThreadRegistry::MaxThreadIndex);
+  }
+  for (auto &Ctx : Contexts)
+    Registry.detach(Ctx);
+}

@@ -1,0 +1,219 @@
+//===- tests/trace_test.cpp - Trace record & replay tests -----------------===//
+
+#include "workload/Trace.h"
+
+#include "baselines/MonitorCache.h"
+#include "core/ThinLock.h"
+#include "heap/Heap.h"
+#include "threads/ThreadRegistry.h"
+#include "vm/VM.h"
+#include "workload/MicroBench.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace thinlocks;
+using namespace thinlocks::workload;
+
+namespace {
+
+class TraceTest : public ::testing::Test {
+protected:
+  Heap TheHeap;
+  ThreadRegistry Registry;
+  MonitorTable Monitors;
+  ThinLockManager Locks{Monitors};
+  std::unique_ptr<SyncBackend> Backend = makeSyncBackend(Locks);
+  LockTrace Trace;
+  TracingBackend Tracer{*Backend, Trace};
+  ThreadContext Main;
+  const ClassInfo *Class = nullptr;
+
+  void SetUp() override {
+    Main = Registry.attach("main");
+    Class = &TheHeap.classes().registerClass("T", 0);
+  }
+  void TearDown() override { Registry.detach(Main); }
+};
+
+} // namespace
+
+TEST_F(TraceTest, RecordsLockUnlockPairs) {
+  Object *A = TheHeap.allocate(*Class);
+  Object *B = TheHeap.allocate(*Class);
+  Tracer.lock(A, Main);
+  Tracer.lock(B, Main);
+  Tracer.unlock(B, Main);
+  Tracer.unlock(A, Main);
+
+  ASSERT_EQ(Trace.size(), 4u);
+  EXPECT_EQ(Trace.events()[0].Op, TraceEvent::Kind::Lock);
+  EXPECT_EQ(Trace.events()[0].ObjectId, 0u); // A interned first.
+  EXPECT_EQ(Trace.events()[1].ObjectId, 1u); // B second.
+  EXPECT_EQ(Trace.events()[3].ObjectId, 0u);
+  EXPECT_EQ(Trace.objectCount(), 2u);
+  EXPECT_EQ(Trace.threadCount(), 1u);
+  EXPECT_EQ(Trace.lockOperationCount(), 2u);
+}
+
+TEST_F(TraceTest, ForwardsToUnderlyingProtocol) {
+  Object *Obj = TheHeap.allocate(*Class);
+  Tracer.lock(Obj, Main);
+  EXPECT_TRUE(Locks.holdsLock(Obj, Main)); // Real lock state changed.
+  EXPECT_TRUE(Tracer.holdsLock(Obj, Main));
+  EXPECT_EQ(Tracer.lockDepth(Obj, Main), 1u);
+  Tracer.unlock(Obj, Main);
+  EXPECT_FALSE(Locks.holdsLock(Obj, Main));
+}
+
+TEST_F(TraceTest, FailedUnlockCheckedIsNotRecorded) {
+  Object *Obj = TheHeap.allocate(*Class);
+  EXPECT_FALSE(Tracer.unlockChecked(Obj, Main));
+  EXPECT_TRUE(Trace.empty());
+}
+
+TEST_F(TraceTest, DepthMixSimulatesNesting) {
+  Object *Obj = TheHeap.allocate(*Class);
+  // 2 sequences: depth-1 then depth-3 -> ops at depth 1,1,2,3.
+  Tracer.lock(Obj, Main);
+  Tracer.unlock(Obj, Main);
+  Tracer.lock(Obj, Main);
+  Tracer.lock(Obj, Main);
+  Tracer.lock(Obj, Main);
+  Tracer.unlock(Obj, Main);
+  Tracer.unlock(Obj, Main);
+  Tracer.unlock(Obj, Main);
+
+  double Mix[4];
+  Trace.depthMix(Mix);
+  EXPECT_DOUBLE_EQ(Mix[0], 0.5);  // 2 of 4 at depth 1
+  EXPECT_DOUBLE_EQ(Mix[1], 0.25); // 1 of 4 at depth 2
+  EXPECT_DOUBLE_EQ(Mix[2], 0.25); // 1 of 4 at depth 3
+  EXPECT_DOUBLE_EQ(Mix[3], 0.0);
+}
+
+TEST_F(TraceTest, SaveLoadRoundTrips) {
+  Object *A = TheHeap.allocate(*Class);
+  Object *B = TheHeap.allocate(*Class);
+  Tracer.lock(A, Main);
+  Tracer.lock(B, Main);
+  Tracer.wait(B, Main, 1000);
+  Tracer.notify(B, Main);
+  Tracer.notifyAll(B, Main);
+  Tracer.unlock(B, Main);
+  Tracer.unlock(A, Main);
+
+  std::stringstream Stream;
+  Trace.save(Stream);
+  LockTrace Loaded;
+  ASSERT_TRUE(Loaded.load(Stream));
+  EXPECT_TRUE(Loaded == Trace);
+  EXPECT_EQ(Loaded.objectCount(), Trace.objectCount());
+}
+
+TEST_F(TraceTest, LoadRejectsMalformedInput) {
+  LockTrace Loaded;
+  std::stringstream BadCode("X 0 1\n");
+  EXPECT_FALSE(Loaded.load(BadCode));
+  std::stringstream Truncated("L 0\n");
+  EXPECT_FALSE(Loaded.load(Truncated));
+  std::stringstream BadThread("L 0 99999\n");
+  EXPECT_FALSE(Loaded.load(BadThread));
+  std::stringstream Fine("L 0 1\nU 0 1\n\n");
+  EXPECT_TRUE(Loaded.load(Fine));
+  EXPECT_EQ(Loaded.size(), 2u);
+}
+
+TEST_F(TraceTest, ReplayReproducesLockStateEffects) {
+  // Record a nesting-rich session...
+  Object *A = TheHeap.allocate(*Class);
+  Object *B = TheHeap.allocate(*Class);
+  for (int I = 0; I < 10; ++I) {
+    Tracer.lock(A, Main);
+    Tracer.lock(A, Main);
+    Tracer.lock(B, Main);
+    Tracer.unlock(B, Main);
+    Tracer.unlock(A, Main);
+    Tracer.unlock(A, Main);
+  }
+
+  // ...replay it on a fresh protocol + instrumented stats.
+  MonitorTable FreshMonitors;
+  LockStats Stats;
+  ThinLockManager Fresh(FreshMonitors, &Stats);
+  Heap FreshHeap;
+  TraceReplayResult Result =
+      replayTrace(Trace, Fresh, FreshHeap, Main);
+  EXPECT_EQ(Result.EventsReplayed, Trace.size());
+  EXPECT_EQ(Result.SkippedEvents, 0u);
+  EXPECT_EQ(Stats.totalAcquisitions(), 30u); // 3 locks x 10 rounds
+  EXPECT_EQ(Stats.totalReleases(), 30u);
+  EXPECT_EQ(Stats.depthBucket(1), 10u); // The nested A locks.
+}
+
+TEST_F(TraceTest, ReplayWorksAcrossProtocols) {
+  Object *Obj = TheHeap.allocate(*Class);
+  for (int I = 0; I < 50; ++I) {
+    Tracer.lock(Obj, Main);
+    Tracer.unlock(Obj, Main);
+  }
+  {
+    MonitorCache Cache(16);
+    Heap FreshHeap;
+    TraceReplayResult Result =
+        replayTrace(Trace, Cache, FreshHeap, Main);
+    EXPECT_EQ(Result.SkippedEvents, 0u);
+    EXPECT_EQ(Result.EventsReplayed, 100u);
+  }
+}
+
+TEST_F(TraceTest, VmExecutionCanBeTraced) {
+  // Route a VM's interpreter synchronization through a recorder and
+  // characterize the interpreted NestedSync micro-benchmark.
+  vm::VM Vm;
+  LockTrace VmTrace;
+  TracingBackend VmTracer(Vm.sync(), VmTrace);
+  Vm.overrideSync(&VmTracer);
+
+  MicroPrograms Programs = buildMicroPrograms(Vm);
+  ScopedThreadAttachment VmMain(Vm.threads(), "vm");
+  Object *Target = Vm.newInstance(*Programs.BenchKlass);
+  runMicroProgram(Vm, *Programs.NestedSync, 20, Target, VmMain.context());
+  Vm.overrideSync(nullptr);
+
+  // NestedSync: 1 outer lock + 20 inner (depth 2) locks + unlocks.
+  EXPECT_EQ(VmTrace.lockOperationCount(), 21u);
+  double Mix[4];
+  VmTrace.depthMix(Mix);
+  EXPECT_NEAR(Mix[1], 20.0 / 21.0, 1e-9);
+  EXPECT_EQ(VmTrace.objectCount(), 1u);
+
+  // The recorded trace replays on a fresh protocol with zero skips.
+  MonitorTable FreshMonitors;
+  ThinLockManager Fresh(FreshMonitors);
+  Heap FreshHeap;
+  TraceReplayResult Result = replayTrace(VmTrace, Fresh, FreshHeap, Main);
+  EXPECT_EQ(Result.SkippedEvents, 0u);
+}
+
+TEST_F(TraceTest, CharacterizationMatchesFigure3Style) {
+  // An 80/20-style session: 80% first locks, 20% second locks.
+  Object *Obj = TheHeap.allocate(*Class);
+  for (int I = 0; I < 100; ++I) {
+    if (I % 4 == 0) { // 25 sequences of depth 2 -> 25 second locks
+      Tracer.lock(Obj, Main);
+      Tracer.lock(Obj, Main);
+      Tracer.unlock(Obj, Main);
+      Tracer.unlock(Obj, Main);
+    } else { // 75 sequences of depth 1
+      Tracer.lock(Obj, Main);
+      Tracer.unlock(Obj, Main);
+    }
+  }
+  double Mix[4];
+  Trace.depthMix(Mix);
+  EXPECT_NEAR(Mix[0], 100.0 / 125.0, 1e-9);
+  EXPECT_NEAR(Mix[1], 25.0 / 125.0, 1e-9);
+  EXPECT_EQ(Trace.lockOperationCount(), 125u);
+}

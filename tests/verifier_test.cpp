@@ -1,0 +1,316 @@
+//===- tests/verifier_test.cpp - Bytecode verifier tests ------------------===//
+
+#include "vm/Assembler.h"
+#include "vm/Disassembler.h"
+#include "vm/NativeLibrary.h"
+#include "vm/Verifier.h"
+#include "vm/VM.h"
+#include "workload/MicroBench.h"
+
+#include <gtest/gtest.h>
+
+using namespace thinlocks;
+using namespace thinlocks::vm;
+
+namespace {
+
+class VerifierTest : public ::testing::Test {
+protected:
+  VM Vm;
+  Klass *K = nullptr;
+
+  void SetUp() override {
+    K = &Vm.defineClass("V", {FieldInfo{"x", ValueKind::Int, 0}});
+  }
+
+  /// Defines and verifies a method; returns the error (if any).
+  std::optional<VerifyError> check(std::vector<Instruction> Code,
+                                   uint16_t NumArgs = 0,
+                                   uint16_t NumLocals = 0) {
+    Method &M = Vm.defineMethod(*K, "m", MethodTraits{}, NumArgs,
+                                NumLocals, std::move(Code));
+    return Verifier(Vm).verify(M);
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Accepting valid code
+//===----------------------------------------------------------------------===//
+
+TEST_F(VerifierTest, AcceptsStraightLineArithmetic) {
+  Assembler Asm;
+  EXPECT_FALSE(check(Asm.iconst(1).iconst(2).iadd().iret().finish()));
+}
+
+TEST_F(VerifierTest, AcceptsLoops) {
+  Assembler Asm;
+  Asm.iconst(0).istore(1);
+  Asm.countedLoop(2, 0, [](Assembler &A) { A.iinc(1, 1); });
+  Asm.iload(1).iret();
+  EXPECT_FALSE(check(Asm.finish(), 1, 3));
+}
+
+TEST_F(VerifierTest, AcceptsBalancedSynchronizedBlocks) {
+  Assembler Asm;
+  Asm.synchronizedOn(0, [](Assembler &A) {
+    A.synchronizedOn(0, [](Assembler &B) { B.iinc(1, 1); });
+  });
+  Asm.ret();
+  EXPECT_FALSE(check(Asm.finish(), 1, 2));
+}
+
+TEST_F(VerifierTest, AcceptsRefManipulation) {
+  Assembler Asm;
+  int32_t ClassIndex = static_cast<int32_t>(K->heapClass().Index);
+  Asm.newObject(ClassIndex).astore(0);
+  Asm.aload(0).iconst(5).putField(0);
+  Asm.aload(0).getField(0).iret();
+  EXPECT_FALSE(check(Asm.finish(), 0, 1));
+}
+
+TEST_F(VerifierTest, AcceptsAllMicroBenchPrograms) {
+  VM Fresh;
+  [[maybe_unused]] workload::MicroPrograms Programs =
+      workload::buildMicroPrograms(Fresh);
+  Verifier V(Fresh);
+  auto Err = V.verifyAll();
+  EXPECT_FALSE(Err) << (Err ? Err->Message : "");
+}
+
+TEST_F(VerifierTest, AcceptsLibraryAndNativeMethods) {
+  VM Fresh;
+  NativeLibrary Lib(Fresh);
+  auto Err = Verifier(Fresh).verifyAll();
+  EXPECT_FALSE(Err) << (Err ? Err->Message : "");
+}
+
+TEST_F(VerifierTest, AcceptsUnknownArgUsedAsInt) {
+  // Arguments are statically untyped; int use is allowed and checked at
+  // run time.
+  Assembler Asm;
+  EXPECT_FALSE(check(Asm.iload(0).iconst(1).iadd().iret().finish(), 1, 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Rejecting broken code
+//===----------------------------------------------------------------------===//
+
+TEST_F(VerifierTest, RejectsEmptyCode) {
+  auto Err = check({});
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("no code"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsStackUnderflow) {
+  Assembler Asm;
+  auto Err = check(Asm.iadd().iret().finish());
+  ASSERT_TRUE(Err);
+  EXPECT_EQ(Err->Pc, 0u);
+  EXPECT_NE(Err->Message.find("underflow"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsTypeConfusionIntAsRef) {
+  Assembler Asm;
+  auto Err = check(Asm.iconst(1).monitorEnter().ret().finish());
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("reference"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsTypeConfusionRefAsInt) {
+  Assembler Asm;
+  auto Err = check(Asm.aconstNull().iconst(1).iadd().iret().finish());
+  ASSERT_TRUE(Err);
+}
+
+TEST_F(VerifierTest, RejectsLocalTypeConfusion) {
+  Assembler Asm;
+  Asm.iconst(1).istore(0); // local 0 = int
+  Asm.aload(0).monitorEnter().ret();
+  auto Err = check(Asm.finish(), 0, 1);
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("aload of an int-typed local"),
+            std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsFallingOffTheEnd) {
+  Assembler Asm;
+  auto Err = check(Asm.nop().finish());
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("falls off"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsOutOfRangeLocal) {
+  Assembler Asm;
+  auto Err = check(Asm.iload(5).iret().finish(), 0, 2);
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("local"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsOutOfRangeBranch) {
+  std::vector<Instruction> Code = {
+      Instruction{Opcode::Goto, 99, 0},
+  };
+  auto Err = check(std::move(Code));
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("branch target"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsUnknownClass) {
+  Assembler Asm;
+  auto Err = check(Asm.newObject(999999).aret().finish());
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("class"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsUnknownMethod) {
+  Assembler Asm;
+  auto Err = check(Asm.invoke(424242).ret().finish());
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("method id"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsInconsistentStackAtMerge) {
+  // One branch pushes an extra value before joining.
+  Assembler Asm;
+  auto Else = Asm.newLabel();
+  auto Join = Asm.newLabel();
+  Asm.iconst(1).ifeq(Else);
+  Asm.iconst(10).jmp(Join); // depth 1 at join
+  Asm.bind(Else);
+  Asm.iconst(10).iconst(20).jmp(Join); // depth 2 at join
+  Asm.bind(Join);
+  Asm.iret();
+  auto Err = check(Asm.finish());
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("stack depth"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Structured locking
+//===----------------------------------------------------------------------===//
+
+TEST_F(VerifierTest, RejectsMonitorexitWithoutEnter) {
+  Assembler Asm;
+  Asm.aload(0).monitorExit().ret();
+  auto Err = check(Asm.finish(), 1, 1);
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("monitorexit"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsReturnWhileHoldingMonitor) {
+  Assembler Asm;
+  Asm.aload(0).monitorEnter().ret();
+  auto Err = check(Asm.finish(), 1, 1);
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("still holding"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsUnstructuredLockingAcrossMerge) {
+  // One path locks, the other does not, then they join.
+  Assembler Asm;
+  auto Skip = Asm.newLabel();
+  auto Join = Asm.newLabel();
+  Asm.iload(1).ifeq(Skip);
+  Asm.aload(0).monitorEnter().jmp(Join);
+  Asm.bind(Skip);
+  Asm.nop().jmp(Join);
+  Asm.bind(Join);
+  Asm.ret();
+  auto Err = check(Asm.finish(), 2, 2);
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("monitor nesting"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsMixedVoidAndValueReturnCallee) {
+  // A callee that sometimes returns a value and sometimes does not makes
+  // the caller's stack depth path-dependent.
+  Assembler Bad;
+  auto ValueCase = Bad.newLabel();
+  Bad.iload(0).ifne(ValueCase);
+  Bad.ret();
+  Bad.bind(ValueCase);
+  Bad.iconst(1).iret();
+  Method &Callee = Vm.defineMethod(*K, "mixed", MethodTraits{}, 1, 1,
+                                   Bad.finish());
+
+  Assembler Caller;
+  Caller.iconst(0).invoke(Callee.Id).ret();
+  auto Err = check(Caller.finish());
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("mixes void and value"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsIntReceiverForSynchronizedCall) {
+  MethodTraits Sync;
+  Sync.IsSynchronized = true;
+  Assembler Body;
+  Body.iconst(0).iret();
+  Method &Callee = Vm.defineMethod(*K, "syncM", Sync, 1, 1, Body.finish());
+
+  Assembler Caller;
+  Caller.iconst(7).invoke(Callee.Id).iret();
+  auto Err = check(Caller.finish());
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->Message.find("receiver"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter agreement: everything the verifier accepts must not trap
+// with BadBytecode (on type-clean inputs), and what it rejects would.
+//===----------------------------------------------------------------------===//
+
+TEST_F(VerifierTest, AcceptedProgramRunsWithoutBadBytecode) {
+  Assembler Asm;
+  Asm.iconst(0).istore(1);
+  Asm.countedLoop(2, 0, [](Assembler &A) { A.iinc(1, 2); });
+  Asm.iload(1).iret();
+  Method &M = Vm.defineMethod(*K, "run", MethodTraits{}, 1, 3,
+                              Asm.finish());
+  ASSERT_FALSE(Verifier(Vm).verify(M));
+  ScopedThreadAttachment Main(Vm.threads());
+  RunResult R =
+      Vm.call(M, std::vector<Value>{Value::makeInt(6)}, Main.context());
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 12);
+}
+
+//===----------------------------------------------------------------------===//
+// Disassembler
+//===----------------------------------------------------------------------===//
+
+TEST_F(VerifierTest, DisassemblerListsInstructions) {
+  Assembler Asm;
+  Asm.synchronizedOn(0, [](Assembler &A) { A.iinc(1, 1); });
+  Asm.ret();
+  Method &M = Vm.defineMethod(*K, "listing", MethodTraits{}, 1, 2,
+                              Asm.finish());
+  std::string Listing = disassemble(M, &Vm);
+  EXPECT_NE(Listing.find("V.listing"), std::string::npos);
+  EXPECT_NE(Listing.find("monitorenter"), std::string::npos);
+  EXPECT_NE(Listing.find("monitorexit"), std::string::npos);
+  EXPECT_NE(Listing.find("iinc 1, 1"), std::string::npos);
+}
+
+TEST_F(VerifierTest, DisassemblerAnnotatesInvokeTargets) {
+  Assembler Body;
+  Body.iconst(0).iret();
+  Method &Callee = Vm.defineMethod(*K, "target", MethodTraits{}, 0, 0,
+                                   Body.finish());
+  Assembler Caller;
+  Caller.invoke(Callee.Id).iret();
+  Method &M = Vm.defineMethod(*K, "caller", MethodTraits{}, 0, 0,
+                              Caller.finish());
+  std::string Listing = disassemble(M, &Vm);
+  EXPECT_NE(Listing.find("// V.target"), std::string::npos);
+}
+
+TEST_F(VerifierTest, DisassemblerHandlesNatives) {
+  VM Fresh;
+  NativeLibrary Lib(Fresh);
+  std::string Listing = disassemble(Lib.vectorAddElement(), &Fresh);
+  EXPECT_NE(Listing.find("native"), std::string::npos);
+  EXPECT_NE(Listing.find("synchronized"), std::string::npos);
+  EXPECT_NE(Listing.find("<native code>"), std::string::npos);
+}

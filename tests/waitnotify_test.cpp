@@ -1,0 +1,213 @@
+//===- tests/waitnotify_test.cpp - Condition synchronization end-to-end ---===//
+//
+// Java-style guarded-suspension patterns built on the thin-lock protocol:
+// bounded buffer, barrier, and ping-pong.  These are the workloads the
+// fat-lock substrate exists for (§2.1), reached through thin-lock
+// inflation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ThinLock.h"
+#include "heap/Heap.h"
+#include "threads/ThreadRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <thread>
+#include <vector>
+
+using namespace thinlocks;
+
+namespace {
+
+class WaitNotifyTest : public ::testing::Test {
+protected:
+  Heap TheHeap;
+  ThreadRegistry Registry;
+  MonitorTable Monitors;
+  ThinLockManager Locks{Monitors};
+  const ClassInfo *Class = nullptr;
+
+  void SetUp() override {
+    Class = &TheHeap.classes().registerClass("W", 0);
+  }
+
+  Object *newObject() { return TheHeap.allocate(*Class); }
+};
+
+} // namespace
+
+TEST_F(WaitNotifyTest, BoundedBufferProducerConsumer) {
+  Object *Monitor = newObject();
+  std::deque<int> Buffer; // Guarded by Monitor.
+  constexpr size_t Capacity = 4;
+  constexpr int Items = 2000;
+
+  std::thread Producer([&] {
+    ScopedThreadAttachment Attachment(Registry, "producer");
+    const ThreadContext &T = Attachment.context();
+    for (int I = 0; I < Items; ++I) {
+      Locks.lock(Monitor, T);
+      while (Buffer.size() == Capacity)
+        ASSERT_EQ(Locks.wait(Monitor, T, -1), WaitStatus::Notified);
+      Buffer.push_back(I);
+      Locks.notifyAll(Monitor, T);
+      Locks.unlock(Monitor, T);
+    }
+  });
+
+  std::vector<int> Received;
+  std::thread Consumer([&] {
+    ScopedThreadAttachment Attachment(Registry, "consumer");
+    const ThreadContext &T = Attachment.context();
+    for (int I = 0; I < Items; ++I) {
+      Locks.lock(Monitor, T);
+      while (Buffer.empty())
+        ASSERT_EQ(Locks.wait(Monitor, T, -1), WaitStatus::Notified);
+      Received.push_back(Buffer.front());
+      Buffer.pop_front();
+      Locks.notifyAll(Monitor, T);
+      Locks.unlock(Monitor, T);
+    }
+  });
+
+  Producer.join();
+  Consumer.join();
+  ASSERT_EQ(Received.size(), static_cast<size_t>(Items));
+  for (int I = 0; I < Items; ++I)
+    EXPECT_EQ(Received[I], I); // FIFO through the buffer.
+  EXPECT_TRUE(Locks.isInflated(Monitor)); // wait() inflated it.
+}
+
+TEST_F(WaitNotifyTest, PingPongAlternation) {
+  Object *Monitor = newObject();
+  int Turn = 0; // 0 = ping's turn, 1 = pong's. Guarded by Monitor.
+  std::vector<int> Sequence;
+  constexpr int Rounds = 500;
+
+  auto Player = [&](int Me) {
+    ScopedThreadAttachment Attachment(Registry);
+    const ThreadContext &T = Attachment.context();
+    for (int I = 0; I < Rounds; ++I) {
+      Locks.lock(Monitor, T);
+      while (Turn != Me)
+        Locks.wait(Monitor, T, -1);
+      Sequence.push_back(Me);
+      Turn = 1 - Me;
+      Locks.notifyAll(Monitor, T);
+      Locks.unlock(Monitor, T);
+    }
+  };
+
+  std::thread Ping(Player, 0);
+  std::thread Pong(Player, 1);
+  Ping.join();
+  Pong.join();
+
+  ASSERT_EQ(Sequence.size(), 2u * Rounds);
+  for (size_t I = 0; I < Sequence.size(); ++I)
+    EXPECT_EQ(Sequence[I], static_cast<int>(I % 2));
+}
+
+TEST_F(WaitNotifyTest, BarrierWithNotifyAll) {
+  Object *Monitor = newObject();
+  constexpr int Parties = 5;
+  int Arrived = 0; // Guarded by Monitor.
+  std::atomic<int> Released{0};
+
+  std::vector<std::thread> Workers;
+  for (int P = 0; P < Parties; ++P) {
+    Workers.emplace_back([&] {
+      ScopedThreadAttachment Attachment(Registry);
+      const ThreadContext &T = Attachment.context();
+      Locks.lock(Monitor, T);
+      if (++Arrived == Parties) {
+        Locks.notifyAll(Monitor, T);
+      } else {
+        while (Arrived < Parties)
+          Locks.wait(Monitor, T, -1);
+      }
+      Locks.unlock(Monitor, T);
+      Released.fetch_add(1);
+    });
+  }
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Released.load(), Parties);
+}
+
+TEST_F(WaitNotifyTest, TimedWaitWakesUpWithoutNotify) {
+  Object *Monitor = newObject();
+  ScopedThreadAttachment Attachment(Registry);
+  const ThreadContext &T = Attachment.context();
+  Locks.lock(Monitor, T);
+  for (int I = 0; I < 3; ++I) {
+    WaitStatus Status = Locks.wait(Monitor, T, /*TimeoutNanos=*/2'000'000);
+    EXPECT_EQ(Status, WaitStatus::TimedOut);
+    EXPECT_TRUE(Locks.holdsLock(Monitor, T));
+  }
+  Locks.unlock(Monitor, T);
+}
+
+TEST_F(WaitNotifyTest, NotifyBeforeAnyWaiterIsLost) {
+  // Java semantics: notifications are not queued.
+  Object *Monitor = newObject();
+  ScopedThreadAttachment Attachment(Registry);
+  const ThreadContext &T = Attachment.context();
+  Locks.lock(Monitor, T);
+  Locks.notify(Monitor, T); // Nobody waiting: lost.
+  WaitStatus Status = Locks.wait(Monitor, T, /*TimeoutNanos=*/5'000'000);
+  EXPECT_EQ(Status, WaitStatus::TimedOut);
+  Locks.unlock(Monitor, T);
+}
+
+TEST_F(WaitNotifyTest, ManyProducersManyConsumers) {
+  Object *Monitor = newObject();
+  std::deque<int> Buffer;
+  constexpr int ProducerCount = 3;
+  constexpr int ConsumerCount = 3;
+  constexpr int ItemsPerProducer = 400;
+  constexpr size_t Capacity = 8;
+  std::atomic<long long> ConsumedSum{0};
+
+  std::vector<std::thread> Threads;
+  for (int P = 0; P < ProducerCount; ++P) {
+    Threads.emplace_back([&, P] {
+      ScopedThreadAttachment Attachment(Registry);
+      const ThreadContext &T = Attachment.context();
+      for (int I = 0; I < ItemsPerProducer; ++I) {
+        Locks.lock(Monitor, T);
+        while (Buffer.size() == Capacity)
+          Locks.wait(Monitor, T, -1);
+        Buffer.push_back(P * ItemsPerProducer + I);
+        Locks.notifyAll(Monitor, T);
+        Locks.unlock(Monitor, T);
+      }
+    });
+  }
+  for (int C = 0; C < ConsumerCount; ++C) {
+    Threads.emplace_back([&] {
+      ScopedThreadAttachment Attachment(Registry);
+      const ThreadContext &T = Attachment.context();
+      for (int I = 0; I < ItemsPerProducer; ++I) {
+        Locks.lock(Monitor, T);
+        while (Buffer.empty())
+          Locks.wait(Monitor, T, -1);
+        ConsumedSum.fetch_add(Buffer.front());
+        Buffer.pop_front();
+        Locks.notifyAll(Monitor, T);
+        Locks.unlock(Monitor, T);
+      }
+    });
+  }
+  for (auto &Th : Threads)
+    Th.join();
+
+  long long Expected = 0;
+  for (int P = 0; P < ProducerCount; ++P)
+    for (int I = 0; I < ItemsPerProducer; ++I)
+      Expected += P * ItemsPerProducer + I;
+  EXPECT_EQ(ConsumedSum.load(), Expected);
+  EXPECT_TRUE(Buffer.empty());
+}
