@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deflation.dir/bench_deflation.cpp.o"
+  "CMakeFiles/bench_deflation.dir/bench_deflation.cpp.o.d"
+  "bench_deflation"
+  "bench_deflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

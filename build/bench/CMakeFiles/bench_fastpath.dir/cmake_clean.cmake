@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fastpath.dir/bench_fastpath.cpp.o"
+  "CMakeFiles/bench_fastpath.dir/bench_fastpath.cpp.o.d"
+  "bench_fastpath"
+  "bench_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

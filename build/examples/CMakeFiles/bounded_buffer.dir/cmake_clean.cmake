@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_buffer.dir/bounded_buffer.cpp.o"
+  "CMakeFiles/bounded_buffer.dir/bounded_buffer.cpp.o.d"
+  "bounded_buffer"
+  "bounded_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

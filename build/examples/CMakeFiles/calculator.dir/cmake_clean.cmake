@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calculator.dir/calculator.cpp.o"
+  "CMakeFiles/calculator.dir/calculator.cpp.o.d"
+  "calculator"
+  "calculator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calculator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

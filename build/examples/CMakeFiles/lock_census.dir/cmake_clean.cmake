@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_census.dir/lock_census.cpp.o"
+  "CMakeFiles/lock_census.dir/lock_census.cpp.o.d"
+  "lock_census"
+  "lock_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

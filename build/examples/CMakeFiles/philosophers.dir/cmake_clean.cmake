@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/philosophers.dir/philosophers.cpp.o"
+  "CMakeFiles/philosophers.dir/philosophers.cpp.o.d"
+  "philosophers"
+  "philosophers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/philosophers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_demo.dir/vm_demo.cpp.o"
+  "CMakeFiles/vm_demo.dir/vm_demo.cpp.o.d"
+  "vm_demo"
+  "vm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount.dir/wordcount.cpp.o"
+  "CMakeFiles/wordcount.dir/wordcount.cpp.o.d"
+  "wordcount"
+  "wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

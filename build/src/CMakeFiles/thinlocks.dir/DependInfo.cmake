@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/EagerMonitor.cpp" "src/CMakeFiles/thinlocks.dir/baselines/EagerMonitor.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/baselines/EagerMonitor.cpp.o.d"
+  "/root/repo/src/baselines/HotLocks.cpp" "src/CMakeFiles/thinlocks.dir/baselines/HotLocks.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/baselines/HotLocks.cpp.o.d"
+  "/root/repo/src/baselines/MonitorCache.cpp" "src/CMakeFiles/thinlocks.dir/baselines/MonitorCache.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/baselines/MonitorCache.cpp.o.d"
+  "/root/repo/src/core/LockStats.cpp" "src/CMakeFiles/thinlocks.dir/core/LockStats.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/core/LockStats.cpp.o.d"
+  "/root/repo/src/core/SyncBackend.cpp" "src/CMakeFiles/thinlocks.dir/core/SyncBackend.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/core/SyncBackend.cpp.o.d"
+  "/root/repo/src/core/ThinLock.cpp" "src/CMakeFiles/thinlocks.dir/core/ThinLock.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/core/ThinLock.cpp.o.d"
+  "/root/repo/src/fatlock/FatLock.cpp" "src/CMakeFiles/thinlocks.dir/fatlock/FatLock.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/fatlock/FatLock.cpp.o.d"
+  "/root/repo/src/fatlock/MonitorTable.cpp" "src/CMakeFiles/thinlocks.dir/fatlock/MonitorTable.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/fatlock/MonitorTable.cpp.o.d"
+  "/root/repo/src/heap/ClassInfo.cpp" "src/CMakeFiles/thinlocks.dir/heap/ClassInfo.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/heap/ClassInfo.cpp.o.d"
+  "/root/repo/src/heap/Heap.cpp" "src/CMakeFiles/thinlocks.dir/heap/Heap.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/heap/Heap.cpp.o.d"
+  "/root/repo/src/support/TableFormatter.cpp" "src/CMakeFiles/thinlocks.dir/support/TableFormatter.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/support/TableFormatter.cpp.o.d"
+  "/root/repo/src/threads/ThreadRegistry.cpp" "src/CMakeFiles/thinlocks.dir/threads/ThreadRegistry.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/threads/ThreadRegistry.cpp.o.d"
+  "/root/repo/src/vm/Assembler.cpp" "src/CMakeFiles/thinlocks.dir/vm/Assembler.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/vm/Assembler.cpp.o.d"
+  "/root/repo/src/vm/Disassembler.cpp" "src/CMakeFiles/thinlocks.dir/vm/Disassembler.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/vm/Disassembler.cpp.o.d"
+  "/root/repo/src/vm/ExprCompiler.cpp" "src/CMakeFiles/thinlocks.dir/vm/ExprCompiler.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/vm/ExprCompiler.cpp.o.d"
+  "/root/repo/src/vm/Interpreter.cpp" "src/CMakeFiles/thinlocks.dir/vm/Interpreter.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/vm/Interpreter.cpp.o.d"
+  "/root/repo/src/vm/Klass.cpp" "src/CMakeFiles/thinlocks.dir/vm/Klass.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/vm/Klass.cpp.o.d"
+  "/root/repo/src/vm/NativeLibrary.cpp" "src/CMakeFiles/thinlocks.dir/vm/NativeLibrary.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/vm/NativeLibrary.cpp.o.d"
+  "/root/repo/src/vm/VM.cpp" "src/CMakeFiles/thinlocks.dir/vm/VM.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/vm/VM.cpp.o.d"
+  "/root/repo/src/vm/Verifier.cpp" "src/CMakeFiles/thinlocks.dir/vm/Verifier.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/vm/Verifier.cpp.o.d"
+  "/root/repo/src/workload/MacroReplay.cpp" "src/CMakeFiles/thinlocks.dir/workload/MacroReplay.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/workload/MacroReplay.cpp.o.d"
+  "/root/repo/src/workload/MicroBench.cpp" "src/CMakeFiles/thinlocks.dir/workload/MicroBench.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/workload/MicroBench.cpp.o.d"
+  "/root/repo/src/workload/Profiles.cpp" "src/CMakeFiles/thinlocks.dir/workload/Profiles.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/workload/Profiles.cpp.o.d"
+  "/root/repo/src/workload/Trace.cpp" "src/CMakeFiles/thinlocks.dir/workload/Trace.cpp.o" "gcc" "src/CMakeFiles/thinlocks.dir/workload/Trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deflation_test.dir/deflation_test.cpp.o"
+  "CMakeFiles/deflation_test.dir/deflation_test.cpp.o.d"
+  "deflation_test"
+  "deflation_test.pdb"
+  "deflation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deflation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eagermonitor_test.dir/eagermonitor_test.cpp.o"
+  "CMakeFiles/eagermonitor_test.dir/eagermonitor_test.cpp.o.d"
+  "eagermonitor_test"
+  "eagermonitor_test.pdb"
+  "eagermonitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eagermonitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

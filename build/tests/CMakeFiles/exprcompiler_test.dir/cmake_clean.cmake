@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exprcompiler_test.dir/exprcompiler_test.cpp.o"
+  "CMakeFiles/exprcompiler_test.dir/exprcompiler_test.cpp.o.d"
+  "exprcompiler_test"
+  "exprcompiler_test.pdb"
+  "exprcompiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exprcompiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

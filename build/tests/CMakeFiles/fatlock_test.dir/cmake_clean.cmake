@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatlock_test.dir/fatlock_test.cpp.o"
+  "CMakeFiles/fatlock_test.dir/fatlock_test.cpp.o.d"
+  "fatlock_test"
+  "fatlock_test.pdb"
+  "fatlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlocks_test.dir/hotlocks_test.cpp.o"
+  "CMakeFiles/hotlocks_test.dir/hotlocks_test.cpp.o.d"
+  "hotlocks_test"
+  "hotlocks_test.pdb"
+  "hotlocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

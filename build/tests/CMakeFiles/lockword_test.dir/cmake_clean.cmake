@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockword_test.dir/lockword_test.cpp.o"
+  "CMakeFiles/lockword_test.dir/lockword_test.cpp.o.d"
+  "lockword_test"
+  "lockword_test.pdb"
+  "lockword_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockword_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitorcache_test.dir/monitorcache_test.cpp.o"
+  "CMakeFiles/monitorcache_test.dir/monitorcache_test.cpp.o.d"
+  "monitorcache_test"
+  "monitorcache_test.pdb"
+  "monitorcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitorcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

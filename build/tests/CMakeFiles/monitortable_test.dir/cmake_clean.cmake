@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitortable_test.dir/monitortable_test.cpp.o"
+  "CMakeFiles/monitortable_test.dir/monitortable_test.cpp.o.d"
+  "monitortable_test"
+  "monitortable_test.pdb"
+  "monitortable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitortable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nativelibrary_test.dir/nativelibrary_test.cpp.o"
+  "CMakeFiles/nativelibrary_test.dir/nativelibrary_test.cpp.o.d"
+  "nativelibrary_test"
+  "nativelibrary_test.pdb"
+  "nativelibrary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nativelibrary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinlock_test.dir/thinlock_test.cpp.o"
+  "CMakeFiles/thinlock_test.dir/thinlock_test.cpp.o.d"
+  "thinlock_test"
+  "thinlock_test.pdb"
+  "thinlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

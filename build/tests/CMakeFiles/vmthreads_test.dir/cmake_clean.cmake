@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmthreads_test.dir/vmthreads_test.cpp.o"
+  "CMakeFiles/vmthreads_test.dir/vmthreads_test.cpp.o.d"
+  "vmthreads_test"
+  "vmthreads_test.pdb"
+  "vmthreads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmthreads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

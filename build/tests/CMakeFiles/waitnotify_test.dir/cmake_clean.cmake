@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waitnotify_test.dir/waitnotify_test.cpp.o"
+  "CMakeFiles/waitnotify_test.dir/waitnotify_test.cpp.o.d"
+  "waitnotify_test"
+  "waitnotify_test.pdb"
+  "waitnotify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waitnotify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

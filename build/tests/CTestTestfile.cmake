@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/lockword_test[1]_include.cmake")
+include("/root/repo/build/tests/threads_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_test[1]_include.cmake")
+include("/root/repo/build/tests/fatlock_test[1]_include.cmake")
+include("/root/repo/build/tests/monitortable_test[1]_include.cmake")
+include("/root/repo/build/tests/thinlock_test[1]_include.cmake")
+include("/root/repo/build/tests/conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/monitorcache_test[1]_include.cmake")
+include("/root/repo/build/tests/hotlocks_test[1]_include.cmake")
+include("/root/repo/build/tests/eagermonitor_test[1]_include.cmake")
+include("/root/repo/build/tests/waitnotify_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/nativelibrary_test[1]_include.cmake")
+include("/root/repo/build/tests/vmthreads_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/deflation_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/exprcompiler_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
