@@ -159,6 +159,21 @@ void FastPath_TryLockPair(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations());
 }
 
+void FastPath_TryLockForUncontended(benchmark::State &State) {
+  // The bounded/deadlock-aware entry point must cost the same as
+  // tryLock when uncontended: the deadline and detector machinery only
+  // engage after a failed immediate attempt.
+  Env E;
+  ThinLockManager Locks(E.Monitors);
+  Object *Obj = E.newObject();
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        Locks.tryLockFor(Obj, E.thread(), 1'000'000'000));
+    Locks.unlock(Obj, E.thread());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
 void FastPath_HoldsLockQuery(benchmark::State &State) {
   Env E;
   ThinLockManager Locks(E.Monitors);
@@ -180,6 +195,7 @@ BENCHMARK(FastPath_MonitorCachePair);
 BENCHMARK(FastPath_HotLockPair);
 BENCHMARK(FastPath_StdMutexPair);
 BENCHMARK(FastPath_TryLockPair);
+BENCHMARK(FastPath_TryLockForUncontended);
 BENCHMARK(FastPath_HoldsLockQuery);
 
 } // namespace

@@ -1,0 +1,127 @@
+//===- core/Deadlock.cpp - Owner-graph deadlock detection -----------------===//
+
+#include "core/Deadlock.h"
+
+#include "core/LockWord.h"
+#include "fatlock/FatLock.h"
+#include "fatlock/MonitorTable.h"
+#include "heap/Object.h"
+#include "threads/ThreadRegistry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace thinlocks;
+
+namespace {
+
+/// Snapshot of who owns \p Obj's monitor right now.
+struct OwnerSnapshot {
+  uint16_t Index = 0;
+  uint32_t Holds = 0;
+};
+
+OwnerSnapshot ownerOf(const Object &Obj, const MonitorTable &Monitors) {
+  uint32_t Word = Obj.lockWord().load(std::memory_order_acquire);
+  if (lockword::isFat(Word)) {
+    const FatLock *Fat = Monitors.resolve(Word);
+    return {Fat->ownerIndex(), Fat->holdCount()};
+  }
+  if (lockword::isUnlocked(Word))
+    return {};
+  return {lockword::threadIndexOf(Word), lockword::countOf(Word) + 1};
+}
+
+/// One un-confirmed walk.  Follows blocked-on/owner edges from
+/// (\p SelfIndex, \p Wanted) until an edge target repeats — a cycle —
+/// or the chain ends at a running thread or an unlocked object.
+DeadlockReport walkOnce(uint16_t SelfIndex, const Object *Wanted,
+                        const ThreadRegistry &Registry,
+                        const MonitorTable &Monitors) {
+  DeadlockReport Report;
+  std::vector<DeadlockEdge> Chain;
+  uint16_t Current = SelfIndex;
+  const Object *Blocked = Wanted;
+  // The chain can visit each thread index at most once before repeating,
+  // so the walk is bounded even if edges mutate underneath us.
+  for (uint32_t Step = 0;
+       Step <= ThreadRegistry::MaxThreadIndex && Blocked != nullptr; ++Step) {
+    OwnerSnapshot Owner = ownerOf(*Blocked, Monitors);
+    if (Owner.Index == 0 || Owner.Index == Current)
+      return Report; // Unlocked, or self-edge artifact of a stale read.
+
+    DeadlockEdge Edge;
+    Edge.ThreadIndex = Current;
+    if (const ThreadInfo *Info = Registry.info(Current))
+      Edge.ThreadName = Info->Name;
+    Edge.WaitsFor = Blocked;
+    Edge.OwnerIndex = Owner.Index;
+    Edge.OwnerHolds = Owner.Holds;
+    Chain.push_back(std::move(Edge));
+
+    // Cycle: the owner is a thread already on the chain.  Report the
+    // loop portion (the prefix before it is merely blocked *behind* the
+    // cycle — still deadlocked, but not part of the loop).
+    for (size_t I = 0; I < Chain.size(); ++I) {
+      if (Chain[I].ThreadIndex == Owner.Index) {
+        Report.Cycle.assign(Chain.begin() + static_cast<ptrdiff_t>(I),
+                            Chain.end());
+        return Report;
+      }
+    }
+
+    Current = Owner.Index;
+    Blocked = Registry.blockedOn(Current);
+  }
+  return Report; // Chain ended: somebody in it is runnable.
+}
+
+bool sameCycle(const DeadlockReport &A, const DeadlockReport &B) {
+  if (A.Cycle.size() != B.Cycle.size())
+    return false;
+  for (size_t I = 0; I < A.Cycle.size(); ++I) {
+    if (A.Cycle[I].ThreadIndex != B.Cycle[I].ThreadIndex ||
+        A.Cycle[I].WaitsFor != B.Cycle[I].WaitsFor ||
+        A.Cycle[I].OwnerIndex != B.Cycle[I].OwnerIndex)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+DeadlockReport thinlocks::detectDeadlock(uint16_t SelfIndex,
+                                         const Object *Wanted,
+                                         const ThreadRegistry &Registry,
+                                         const MonitorTable &Monitors) {
+  DeadlockReport First = walkOnce(SelfIndex, Wanted, Registry, Monitors);
+  if (!First.hasCycle())
+    return First;
+  // Double-confirm: a transient snapshot (an edge observed mid-handoff)
+  // will not reproduce identically on an immediate re-walk, because the
+  // handoff that created it has completed.
+  DeadlockReport Second = walkOnce(SelfIndex, Wanted, Registry, Monitors);
+  if (!sameCycle(First, Second))
+    return DeadlockReport();
+  return First;
+}
+
+std::string DeadlockReport::format() const {
+  if (Cycle.empty())
+    return "no deadlock detected";
+  char Line[256];
+  std::snprintf(Line, sizeof(Line), "deadlock: %zu thread(s) in cycle\n",
+                Cycle.size());
+  std::string Out = Line;
+  for (const DeadlockEdge &Edge : Cycle) {
+    std::snprintf(Line, sizeof(Line),
+                  "  thread %u (\"%s\") waits for object %p, held by "
+                  "thread %u with %u hold(s)\n",
+                  Edge.ThreadIndex,
+                  Edge.ThreadName.empty() ? "?" : Edge.ThreadName.c_str(),
+                  static_cast<const void *>(Edge.WaitsFor), Edge.OwnerIndex,
+                  Edge.OwnerHolds);
+    Out += Line;
+  }
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- core/Deadlock.h - Owner-graph deadlock detection --------*- C++ -*-===//
+///
+/// \file
+/// A waits-for cycle walker over the thin/fat lock encoding.  Nodes are
+/// thread indices; an edge T -> U exists when T is blocked acquiring an
+/// object whose monitor is owned by U.  The two halves of every edge are
+/// already published for free:
+///
+///  - "T is blocked on object O": ThreadInfo::BlockedOn, set by the
+///    contention slow paths (ThinLockImpl::lockSlow / tryLockFor);
+///  - "O is owned by U": the lock word itself (thin owner field) or the
+///    resolved FatLock's owner index.
+///
+/// The walk is a racy snapshot, so a detected cycle is *double-confirmed*
+/// (walked twice; must be bit-identical) before being reported.  When the
+/// detector runs on behalf of a thread that is itself blocked, a cycle
+/// through that thread cannot be a false positive even single-shot: the
+/// caller holds the object that closes the cycle for the entire walk, so
+/// every edge re-verified at report time is still live.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_CORE_DEADLOCK_H
+#define THINLOCKS_CORE_DEADLOCK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace thinlocks {
+
+class MonitorTable;
+class Object;
+class ThreadRegistry;
+
+/// One waits-for edge in a detected cycle.
+struct DeadlockEdge {
+  /// The blocked thread.
+  uint16_t ThreadIndex = 0;
+  /// Its registry name ("" if unnamed).
+  std::string ThreadName;
+  /// The object it is blocked acquiring.
+  const Object *WaitsFor = nullptr;
+  /// The thread that owns \c WaitsFor (the edge target).
+  uint16_t OwnerIndex = 0;
+  /// The owner's hold count on \c WaitsFor at snapshot time.
+  uint32_t OwnerHolds = 0;
+};
+
+/// Result of a cycle walk.
+struct DeadlockReport {
+  /// The edges of the cycle, in waits-for order (the last edge's owner is
+  /// the first edge's thread).  Empty when no cycle was found.
+  std::vector<DeadlockEdge> Cycle;
+
+  bool hasCycle() const { return !Cycle.empty(); }
+
+  /// Renders the cycle for humans: one line per edge with thread names,
+  /// object addresses, and hold counts.
+  std::string format() const;
+};
+
+/// Walks the waits-for graph starting from thread \p SelfIndex blocked on
+/// \p Wanted.  \returns the cycle containing (or blocking) \p SelfIndex,
+/// double-confirmed, or an empty report.  Lock-free with respect to the
+/// lock words; takes no monitor-table or registry mutex.
+DeadlockReport detectDeadlock(uint16_t SelfIndex, const Object *Wanted,
+                              const ThreadRegistry &Registry,
+                              const MonitorTable &Monitors);
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_CORE_DEADLOCK_H

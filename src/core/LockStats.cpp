@@ -24,6 +24,9 @@ void LockStats::reset() {
   OverflowInflations.reset();
   WaitInflations.reset();
   Deflations.reset();
+  EmergencyInflations.reset();
+  TimedOutAcquisitions.reset();
+  DeadlocksDetected.reset();
   for (auto &Bucket : DepthBuckets)
     Bucket.reset();
 }
@@ -34,7 +37,8 @@ std::string LockStats::summary() const {
       Buffer, sizeof(Buffer),
       "locks=%llu unlocks=%llu fast=%llu fat=%llu spins=%llu\n"
       "inflations: contention=%llu overflow=%llu wait=%llu "
-      "deflations=%llu\n"
+      "emergency=%llu deflations=%llu\n"
+      "degraded: timeouts=%llu deadlocks=%llu\n"
       "depth: first=%.1f%% second=%.1f%% third=%.1f%% fourth+=%.1f%%\n",
       static_cast<unsigned long long>(totalAcquisitions()),
       static_cast<unsigned long long>(totalReleases()),
@@ -44,7 +48,10 @@ std::string LockStats::summary() const {
       static_cast<unsigned long long>(contentionInflations()),
       static_cast<unsigned long long>(overflowInflations()),
       static_cast<unsigned long long>(waitInflations()),
+      static_cast<unsigned long long>(emergencyInflations()),
       static_cast<unsigned long long>(deflations()),
+      static_cast<unsigned long long>(timedOutAcquisitions()),
+      static_cast<unsigned long long>(deadlocksDetected()),
       depthFraction(0) * 100.0, depthFraction(1) * 100.0,
       depthFraction(2) * 100.0, depthFraction(3) * 100.0);
   return Buffer;

@@ -44,6 +44,13 @@ public:
   void recordOverflowInflation() { OverflowInflations.increment(); }
   void recordWaitInflation() { WaitInflations.increment(); }
   void recordDeflation() { Deflations.increment(); }
+  /// Inflation landed on the shared emergency monitor because the
+  /// MonitorTable was exhausted (degraded but correct mode).
+  void recordEmergencyInflation() { EmergencyInflations.increment(); }
+  /// A tryLockFor() deadline expired without acquiring.
+  void recordTimedOut() { TimedOutAcquisitions.increment(); }
+  /// The owner-graph walker confirmed a waits-for cycle.
+  void recordDeadlock() { DeadlocksDetected.increment(); }
 
   uint64_t totalAcquisitions() const { return Total.value(); }
   uint64_t totalReleases() const { return Releases.value(); }
@@ -59,6 +66,11 @@ public:
     return contentionInflations() + overflowInflations() + waitInflations();
   }
   uint64_t deflations() const { return Deflations.value(); }
+  uint64_t emergencyInflations() const { return EmergencyInflations.value(); }
+  uint64_t timedOutAcquisitions() const {
+    return TimedOutAcquisitions.value();
+  }
+  uint64_t deadlocksDetected() const { return DeadlocksDetected.value(); }
 
   /// \returns the acquisition count in Figure 3 bucket \p Bucket (0..3).
   uint64_t depthBucket(unsigned Bucket) const {
@@ -84,6 +96,9 @@ private:
   StatsCounter OverflowInflations;
   StatsCounter WaitInflations;
   StatsCounter Deflations;
+  StatsCounter EmergencyInflations;
+  StatsCounter TimedOutAcquisitions;
+  StatsCounter DeadlocksDetected;
   std::array<StatsCounter, NumDepthBuckets> DepthBuckets;
 };
 

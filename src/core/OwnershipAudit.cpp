@@ -1,0 +1,48 @@
+//===- core/OwnershipAudit.cpp - Who owns which lock words ----------------===//
+
+#include "core/OwnershipAudit.h"
+
+#include "core/LockWord.h"
+#include "fatlock/MonitorTable.h"
+#include "heap/Heap.h"
+#include "heap/Object.h"
+
+using namespace thinlocks;
+
+namespace {
+
+/// \returns the owning thread index encoded in \p Obj's monitor, or 0.
+uint16_t ownerIndexOf(const Object &Obj, const MonitorTable &Monitors) {
+  uint32_t Word = Obj.lockWord().load(std::memory_order_acquire);
+  if (lockword::isFat(Word))
+    return Monitors.resolve(Word)->ownerIndex();
+  if (lockword::isUnlocked(Word))
+    return 0;
+  return lockword::threadIndexOf(Word);
+}
+
+} // namespace
+
+std::vector<const Object *>
+thinlocks::objectsLockedBy(uint16_t ThreadIndex, const Heap &H,
+                           const MonitorTable &Monitors) {
+  std::vector<const Object *> Owned;
+  if (ThreadIndex == 0)
+    return Owned;
+  H.forEachObject([&](const Object &Obj) {
+    if (ownerIndexOf(Obj, Monitors) == ThreadIndex)
+      Owned.push_back(&Obj);
+  });
+  return Owned;
+}
+
+ThreadRegistry::IndexAuditor
+thinlocks::makeLockWordAuditor(const Heap &H, const MonitorTable &Monitors) {
+  return [&H, &Monitors](uint16_t Index) {
+    bool Found = false;
+    H.forEachObject([&](const Object &Obj) {
+      Found = Found || ownerIndexOf(Obj, Monitors) == Index;
+    });
+    return Found;
+  };
+}

@@ -1,0 +1,48 @@
+//===- core/OwnershipAudit.h - Who owns which lock words -------*- C++ -*-===//
+///
+/// \file
+/// Heap-wide ownership queries over the thin/fat lock encoding.  The
+/// primary consumer is thread-index recycling safety: a 15-bit thread
+/// index encoded in a live thin-lock word *is* ownership, so an index
+/// must not be recycled to a new thread while any lock word still
+/// encodes it — the new thread's XOR fast path would satisfy
+/// `canNestInline` against the stale word and silently "own" a lock it
+/// never acquired.  ThreadRegistry quarantines such indices; the auditor
+/// built here tells it which ones those are by scanning the heap.
+///
+/// The scan is O(heap) and runs only on detach / quarantine rescan —
+/// cold paths by design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_CORE_OWNERSHIPAUDIT_H
+#define THINLOCKS_CORE_OWNERSHIPAUDIT_H
+
+#include "threads/ThreadRegistry.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace thinlocks {
+
+class Heap;
+class MonitorTable;
+class Object;
+
+/// \returns every object whose monitor (thin word or resolved fat lock)
+/// is currently owned by thread index \p ThreadIndex.  Racy snapshot:
+/// concurrent lock activity may be missed; use at points where the index
+/// is not running (detach, post-mortem).
+std::vector<const Object *> objectsLockedBy(uint16_t ThreadIndex,
+                                            const Heap &H,
+                                            const MonitorTable &Monitors);
+
+/// Builds the standard ThreadRegistry index auditor: "is \p Index still
+/// encoded as an owner anywhere in \p H?"  The heap and table must
+/// outlive the registry the auditor is installed into.
+ThreadRegistry::IndexAuditor makeLockWordAuditor(const Heap &H,
+                                                 const MonitorTable &Monitors);
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_CORE_OWNERSHIPAUDIT_H

@@ -20,6 +20,16 @@
 ///    (shape bit | monitor index).  Inflation is permanent.
 ///  - count overflow (257th hold) and wait() also inflate.
 ///
+/// Robustness layers beyond the paper:
+///  - MonitorTable exhaustion degrades to the shared emergency monitor
+///    instead of asserting (see inflateOwned);
+///  - contention publishes waits-for edges and runs a deadlock watchdog
+///    (core/Deadlock.h) that reports the cycle before aborting;
+///  - tryLockFor() bounds an acquisition and distinguishes TimedOut from
+///    a confirmed Deadlock;
+///  - failpoint sites (support/FailPoint.h) let tests force the rare
+///    interleavings; they compile to nothing in normal builds.
+///
 /// ThinLockImpl is templated over a fence/unlock policy (core/Variants.h)
 /// so the paper's §3.5 tradeoff variants share one implementation.
 /// ThinLockManager (= ThinLockImpl<DynamicPolicy>) is the configuration
@@ -30,6 +40,7 @@
 #ifndef THINLOCKS_CORE_THINLOCK_H
 #define THINLOCKS_CORE_THINLOCK_H
 
+#include "core/Deadlock.h"
 #include "core/LockProtocol.h"
 #include "core/LockStats.h"
 #include "core/LockWord.h"
@@ -37,11 +48,15 @@
 #include "fatlock/MonitorTable.h"
 #include "heap/Object.h"
 #include "support/Compiler.h"
+#include "support/FailPoint.h"
+#include "support/Fatal.h"
 #include "support/SpinWait.h"
 #include "threads/ThreadContext.h"
+#include "threads/ThreadRegistry.h"
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
@@ -62,6 +77,34 @@ namespace thinlocks {
 /// burst vs. inflate/deflate thrashing under repeated contention.
 enum class DeflationPolicy : uint8_t { Never, WhenQuiescent };
 
+/// Outcome of a bounded acquisition attempt (tryLockFor).
+enum class TimedLockStatus : uint8_t {
+  Acquired, ///< The monitor is now held by the caller.
+  TimedOut, ///< Deadline expired; no cycle was confirmed.
+  Deadlock, ///< Deadline expired *and* a waits-for cycle through the
+            ///< caller was double-confirmed.
+};
+
+/// Tuning for the contention escalation ladder (pause -> yield -> park;
+/// see SpinPolicy) and the deadlock watchdog layered on top of it.
+struct ContentionOptions {
+  /// The spin/yield/park ladder used while contending on a thin word.
+  SpinPolicy Spin;
+  /// Run owner-graph cycle walks from blocked lock() calls.  (tryLockFor
+  /// always checks at its deadline regardless of this flag.)
+  bool DeadlockWatchdog = true;
+  /// On a confirmed cycle in lock(): terminate with the formatted report
+  /// (true), or record it in LockStats and keep waiting (false — for
+  /// systems that prefer a hung thread to a dead process).
+  bool AbortOnDeadlock = true;
+  /// Thin-word contention: parked rounds between cycle walks.  At the
+  /// default 2ms park cap, 512 parks is roughly one second blocked.
+  uint64_t WatchdogParkPeriod = 512;
+  /// Fat-lock contention: the bounded wait slice, after which the
+  /// watchdog walks the graph and re-queues.  Nanoseconds.
+  int64_t WatchdogNanos = 1'000'000'000;
+};
+
 /// Thin-lock protocol over a MonitorTable, parameterized by a fence /
 /// unlock policy.
 template <typename Policy> class ThinLockImpl {
@@ -70,9 +113,12 @@ public:
   /// \param Stats optional instrumentation sink; null disables recording.
   /// \param Deflation whether fat locks retire at quiescence (the paper's
   /// discipline is Never).
+  /// \param Options contention-ladder and deadlock-watchdog tuning.
   explicit ThinLockImpl(MonitorTable &Monitors, LockStats *Stats = nullptr,
-                        DeflationPolicy Deflation = DeflationPolicy::Never)
-      : Monitors(Monitors), Stats(Stats), Deflation(Deflation) {}
+                        DeflationPolicy Deflation = DeflationPolicy::Never,
+                        ContentionOptions Options = ContentionOptions())
+      : Monitors(Monitors), Stats(Stats), Deflation(Deflation),
+        Options(Options) {}
 
   ThinLockImpl(const ThinLockImpl &) = delete;
   ThinLockImpl &operator=(const ThinLockImpl &) = delete;
@@ -89,9 +135,18 @@ public:
     uint32_t Old =
         Word.load(std::memory_order_relaxed) & lockword::HeaderBitsMask;
     uint32_t Desired = Old | Thread.shiftedIndex();
-    if (TL_LIKELY(Word.compare_exchange_strong(Old, Desired,
-                                               std::memory_order_acquire,
-                                               std::memory_order_relaxed))) {
+    bool Acquired;
+    if (TL_FAILPOINT(ThinLockInitialCas)) {
+      // Injected CAS failure: behave exactly like losing the race — the
+      // hardware CAS would have reloaded the current word into Old.
+      Old = Word.load(std::memory_order_relaxed);
+      Acquired = false;
+    } else {
+      Acquired = Word.compare_exchange_strong(Old, Desired,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed);
+    }
+    if (TL_LIKELY(Acquired)) {
       Policy::afterAcquireFence();
       if (TL_UNLIKELY(Stats != nullptr)) {
         Stats->recordFastPath();
@@ -144,7 +199,7 @@ public:
     uint32_t Value = Word.load(std::memory_order_relaxed);
     uint32_t Shifted = Thread.shiftedIndex();
     if (lockword::isFat(Value)) {
-      FatLock *Fat = Monitors.get(lockword::monitorIndexOf(Value));
+      FatLock *Fat = Monitors.resolve(Value);
       if (Deflation == DeflationPolicy::Never) {
         bool Ok = Fat->unlockChecked(Thread);
         if (Ok && Stats)
@@ -196,7 +251,7 @@ public:
   Retry:
     uint32_t Value = Word.load(std::memory_order_relaxed);
     if (lockword::isFat(Value)) {
-      FatLock *Fat = Monitors.get(lockword::monitorIndexOf(Value));
+      FatLock *Fat = Monitors.resolve(Value);
       switch (Fat->tryLockStatus(Thread)) {
       case FatLock::TryResult::Acquired:
         if (Stats) {
@@ -236,11 +291,106 @@ public:
     return false;
   }
 
+  /// Bounded acquisition: like lock(), but gives up after
+  /// \p TimeoutNanos.  At the deadline the owner graph is walked; a
+  /// double-confirmed cycle yields TimedLockStatus::Deadlock (and fills
+  /// \p Report when non-null) instead of a bare timeout, letting callers
+  /// break cycles deliberately rather than guessing.  A non-positive
+  /// timeout degenerates to tryLock() plus the deadlock check.
+  TimedLockStatus tryLockFor(Object *Obj, const ThreadContext &Thread,
+                             int64_t TimeoutNanos,
+                             DeadlockReport *Report = nullptr) {
+    assert(Thread.isValid() && "locking with an unattached thread");
+    // Uncontended / recursive cases never need the deadline machinery.
+    if (tryLock(Obj, Thread))
+      return TimedLockStatus::Acquired;
+
+    const auto Deadline = std::chrono::steady_clock::now() +
+                          std::chrono::nanoseconds(TimeoutNanos);
+    std::atomic<uint32_t> &Word = Obj->lockWord();
+    uint32_t Shifted = Thread.shiftedIndex();
+    SpinWait Spinner(Options.Spin);
+    BlockedOnScope Blocked(Thread, Obj);
+    bool SawContention = false;
+    for (;;) {
+      uint32_t Value = Word.load(std::memory_order_acquire);
+
+      if (lockword::isFat(Value)) {
+        FatLock *Fat = Monitors.resolve(Value);
+        int64_t Remaining = std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(
+                                Deadline - std::chrono::steady_clock::now())
+                                .count();
+        if (Remaining <= 0)
+          return deadlineExpired(Obj, Thread, Report);
+        switch (Fat->lockIfLiveFor(Thread, Remaining)) {
+        case FatLock::TimedResult::Acquired:
+          Policy::afterAcquireFence();
+          if (Stats) {
+            Stats->recordFatPath();
+            Stats->recordAcquire(Fat->holdCount());
+            Stats->recordSpinIterations(Spinner.totalSpins());
+          }
+          return TimedLockStatus::Acquired;
+        case FatLock::TimedResult::Retired:
+          Spinner.spinOnce();
+          continue;
+        case FatLock::TimedResult::TimedOut:
+          return deadlineExpired(Obj, Thread, Report);
+        }
+      }
+
+      if (lockword::isThinOwnedBy(Value, Shifted)) {
+        uint32_t Count = lockword::countOf(Value);
+        if (Count < lockword::MaxCount) {
+          Word.store(Value + lockword::CountUnit,
+                     std::memory_order_relaxed);
+          if (Stats)
+            Stats->recordAcquire(Count + 2);
+          return TimedLockStatus::Acquired;
+        }
+        inflateOwned(Obj, Thread, Value, Count + 2);
+        if (Stats) {
+          Stats->recordOverflowInflation();
+          Stats->recordAcquire(Count + 2);
+        }
+        return TimedLockStatus::Acquired;
+      }
+
+      if (lockword::isUnlocked(Value)) {
+        uint32_t Old = Value & lockword::HeaderBitsMask;
+        if (Word.compare_exchange_weak(Old, Old | Shifted,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+          Policy::afterAcquireFence();
+          // §2.3.4 locality of contention, as in lockSlow(): only
+          // inflate when the bounded wait actually met a contender.
+          if (SawContention) {
+            inflateOwned(Obj, Thread, Old | Shifted, 1);
+            if (Stats)
+              Stats->recordContentionInflation();
+          }
+          if (Stats) {
+            Stats->recordAcquire(1);
+            Stats->recordSpinIterations(Spinner.totalSpins());
+          }
+          return TimedLockStatus::Acquired;
+        }
+        continue; // Lost a race; reevaluate the fresh value.
+      }
+
+      SawContention = true;
+      if (std::chrono::steady_clock::now() >= Deadline)
+        return deadlineExpired(Obj, Thread, Report);
+      Spinner.spinOnce();
+    }
+  }
+
   /// \returns true if \p Thread owns \p Obj's monitor.
   bool holdsLock(Object *Obj, const ThreadContext &Thread) const {
     uint32_t Value = Obj->lockWord().load(std::memory_order_relaxed);
     if (lockword::isFat(Value))
-      return Monitors.get(lockword::monitorIndexOf(Value))->heldBy(Thread);
+      return Monitors.resolve(Value)->heldBy(Thread);
     return lockword::isThinOwnedBy(Value, Thread.shiftedIndex());
   }
 
@@ -248,7 +398,7 @@ public:
   uint32_t lockDepth(Object *Obj, const ThreadContext &Thread) const {
     uint32_t Value = Obj->lockWord().load(std::memory_order_relaxed);
     if (lockword::isFat(Value)) {
-      FatLock *Fat = Monitors.get(lockword::monitorIndexOf(Value));
+      FatLock *Fat = Monitors.resolve(Value);
       return Fat->heldBy(Thread) ? Fat->holdCount() : 0;
     }
     if (!lockword::isThinOwnedBy(Value, Thread.shiftedIndex()))
@@ -266,7 +416,7 @@ public:
     uint32_t Value = Word.load(std::memory_order_relaxed);
     FatLock *Fat = nullptr;
     if (lockword::isFat(Value)) {
-      Fat = Monitors.get(lockword::monitorIndexOf(Value));
+      Fat = Monitors.resolve(Value);
       if (!Fat->heldBy(Thread))
         return WaitStatus::NotOwner;
     } else {
@@ -304,7 +454,7 @@ public:
     uint32_t Value = Obj->lockWord().load(std::memory_order_acquire);
     if (!lockword::isFat(Value))
       return nullptr;
-    return Monitors.get(lockword::monitorIndexOf(Value));
+    return Monitors.resolve(Value);
   }
 
   /// Out-of-line entry points for the paper's "FnCall" variant (§3.5):
@@ -320,8 +470,30 @@ public:
   LockStats *stats() const { return Stats; }
   void setStats(LockStats *NewStats) { Stats = NewStats; }
   MonitorTable &monitorTable() { return Monitors; }
+  const ContentionOptions &contentionOptions() const { return Options; }
+  void setContentionOptions(const ContentionOptions &NewOptions) {
+    Options = NewOptions;
+  }
 
 private:
+  /// Publishes "this thread is blocked acquiring Obj" for the lifetime of
+  /// a contention episode — the waits-for edge the deadlock detector
+  /// reads.  Slow paths only; the fast path never touches the registry.
+  class BlockedOnScope {
+    const ThreadContext &Thread;
+
+  public:
+    BlockedOnScope(const ThreadContext &Thread, const Object *Obj)
+        : Thread(Thread) {
+      Thread.registry().setBlockedOn(Thread, Obj);
+    }
+    ~BlockedOnScope() {
+      Thread.registry().setBlockedOn(Thread, nullptr);
+    }
+    BlockedOnScope(const BlockedOnScope &) = delete;
+    BlockedOnScope &operator=(const BlockedOnScope &) = delete;
+  };
+
   /// Release a thin word the policy's way: plain store (the paper's
   /// discipline) or compare-and-swap (the UnlkC&S ablation).
   TL_ALWAYS_INLINE void storeRelease(std::atomic<uint32_t> &Word,
@@ -336,16 +508,65 @@ private:
     }
   }
 
+  /// One watchdog tick from a blocked lock(): walk the owner graph; on a
+  /// double-confirmed cycle either terminate with the report (the
+  /// default — a deadlocked thread never recovers on its own) or record
+  /// it and let the caller keep waiting.
+  void watchdogCheck(Object *Obj, const ThreadContext &Thread) {
+    DeadlockReport Report =
+        detectDeadlock(Thread.index(), Obj, Thread.registry(), Monitors);
+    if (!Report.hasCycle())
+      return;
+    if (Stats)
+      Stats->recordDeadlock();
+    if (Options.AbortOnDeadlock)
+      fatalError("thread %u cannot make progress\n%s", Thread.index(),
+                 Report.format().c_str());
+  }
+
+  /// tryLockFor()'s deadline path: classify the failure as Deadlock
+  /// (double-confirmed cycle) or plain TimedOut.
+  TimedLockStatus deadlineExpired(Object *Obj, const ThreadContext &Thread,
+                                  DeadlockReport *Report) {
+    DeadlockReport Detected =
+        detectDeadlock(Thread.index(), Obj, Thread.registry(), Monitors);
+    if (Detected.hasCycle()) {
+      if (Stats)
+        Stats->recordDeadlock();
+      if (Report)
+        *Report = std::move(Detected);
+      return TimedLockStatus::Deadlock;
+    }
+    if (Stats)
+      Stats->recordTimedOut();
+    return TimedLockStatus::TimedOut;
+  }
+
   TL_NOINLINE void lockSlow(Object *Obj, const ThreadContext &Thread) {
     std::atomic<uint32_t> &Word = Obj->lockWord();
     uint32_t Shifted = Thread.shiftedIndex();
-    SpinWait Spinner;
+    SpinWait Spinner(Options.Spin);
+    BlockedOnScope Blocked(Thread, Obj);
+    uint64_t ParksAtLastCheck = 0;
     for (;;) {
       uint32_t Value = Word.load(std::memory_order_acquire);
 
       if (lockword::isFat(Value)) {
-        FatLock *Fat = Monitors.get(lockword::monitorIndexOf(Value));
-        if (TL_UNLIKELY(!Fat->lockIfLive(Thread))) {
+        FatLock *Fat = Monitors.resolve(Value);
+        if (Options.DeadlockWatchdog) {
+          // Bounded slices instead of an open-ended block, so the
+          // watchdog keeps running while queued on the fat lock.
+          FatLock::TimedResult Result =
+              Fat->lockIfLiveFor(Thread, Options.WatchdogNanos);
+          if (Result == FatLock::TimedResult::Retired) {
+            Spinner.spinOnce();
+            continue;
+          }
+          if (Result == FatLock::TimedResult::TimedOut) {
+            watchdogCheck(Obj, Thread);
+            continue;
+          }
+        } else if (TL_UNLIKELY(!Fat->lockIfLive(Thread))) {
           // Monitor retired by deflation; back off briefly (the
           // deflater has yet to store the fresh thin word), re-read.
           Spinner.spinOnce();
@@ -402,6 +623,12 @@ private:
 
       // Thin and owned by another thread: spin with backoff (§2.3.4).
       Spinner.spinOnce();
+      if (TL_UNLIKELY(Options.DeadlockWatchdog && Spinner.isParking() &&
+                      Spinner.totalParks() - ParksAtLastCheck >=
+                          Options.WatchdogParkPeriod)) {
+        ParksAtLastCheck = Spinner.totalParks();
+        watchdogCheck(Obj, Thread);
+      }
     }
   }
 
@@ -413,14 +640,34 @@ private:
   /// Inflates a thin lock the calling thread owns: allocates a fat lock,
   /// transfers \p Holds holds, and publishes the fat lock word.  Only the
   /// owner may call this (it writes the lock word with a plain store).
+  ///
+  /// When the MonitorTable is exhausted, degrades to the table's shared
+  /// *emergency monitor*: mutual exclusion coarsens (every object in
+  /// emergency mode shares one monitor; same-thread holds merge) but
+  /// remains correct, and the event is counted in both the table's
+  /// exhaustion counter and LockStats.  See DESIGN.md "Failure modes".
   FatLock *inflateOwned(Object *Obj, const ThreadContext &Thread,
                         uint32_t CurrentWord, uint32_t Holds) {
     assert(lockword::isThinOwnedBy(CurrentWord, Thread.shiftedIndex()) &&
            "inflating a lock the thread does not own");
     uint32_t Index = Monitors.allocate();
-    assert(Index != 0 && "monitor index space exhausted");
-    FatLock *Fat = Monitors.get(Index);
-    Fat->lockWithCount(Thread, Holds);
+    FatLock *Fat;
+    if (TL_UNLIKELY(Index == 0)) {
+      Index = Monitors.emergencyIndex();
+      Fat = Monitors.emergencyMonitor();
+      Fat->lockMergingCount(Thread, Holds);
+      if (Stats)
+        Stats->recordEmergencyInflation();
+    } else {
+      Fat = Monitors.get(Index);
+      Fat->lockWithCount(Thread, Holds);
+    }
+    if (TL_FAILPOINT(ThinLockInflateRace)) {
+      // Widen the inflation window: the fat lock is held but the word is
+      // still thin, so contenders keep spinning on the thin word and
+      // must re-read after we publish.  Exercises the §2.3.4 hand-off.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
     uint32_t HeaderBits = lockword::headerBitsOf(CurrentWord);
     Obj->lockWord().store(lockword::makeFat(Index, HeaderBits),
                           std::memory_order_release);
@@ -431,7 +678,7 @@ private:
                           bool All) {
     uint32_t Value = Obj->lockWord().load(std::memory_order_relaxed);
     if (lockword::isFat(Value)) {
-      FatLock *Fat = Monitors.get(lockword::monitorIndexOf(Value));
+      FatLock *Fat = Monitors.resolve(Value);
       if (!Fat->heldBy(Thread))
         return NotifyStatus::NotOwner;
       if (All)
@@ -450,6 +697,7 @@ private:
   MonitorTable &Monitors;
   LockStats *Stats;
   DeflationPolicy Deflation;
+  ContentionOptions Options;
 };
 
 /// The shipping configuration (paper §3.5.1): per-operation dynamic

@@ -8,13 +8,33 @@
 
 using namespace thinlocks;
 
+void FatLock::skipAbandonedTickets() {
+  // Linear scan is fine: abandonments are timeout events, so the vector
+  // is empty in any healthy schedule.
+  bool Advanced = true;
+  while (Advanced && !AbandonedTickets.empty()) {
+    Advanced = false;
+    for (size_t I = 0; I < AbandonedTickets.size(); ++I) {
+      if (AbandonedTickets[I] == ServingTicket) {
+        AbandonedTickets.erase(AbandonedTickets.begin() +
+                               static_cast<ptrdiff_t>(I));
+        ++ServingTicket;
+        Advanced = true;
+        break;
+      }
+    }
+  }
+}
+
 void FatLock::acquireSlow(std::unique_lock<std::mutex> &Guard,
                           uint16_t Index) {
   uint64_t Ticket = NextTicket++;
   if (Owner != 0 || ServingTicket != Ticket)
     ++Counters.ContendedAcquisitions;
-  EntryCv.wait(Guard,
-               [&] { return Owner == 0 && ServingTicket == Ticket; });
+  EntryCv.wait(Guard, [&] {
+    skipAbandonedTickets();
+    return Owner == 0 && ServingTicket == Ticket;
+  });
   Owner = Index;
   ++ServingTicket;
 }
@@ -49,13 +69,69 @@ bool FatLock::lockIfLive(const ThreadContext &Thread) {
   return true;
 }
 
+FatLock::TimedResult FatLock::lockIfLiveFor(const ThreadContext &Thread,
+                                            int64_t TimeoutNanos) {
+  assert(Thread.isValid() && "locking with an unattached thread");
+  std::unique_lock<std::mutex> Guard(Mutex);
+  if (Retired)
+    return TimedResult::Retired;
+  if (Owner == Thread.index()) {
+    ++Counters.Acquisitions;
+    ++Hold;
+    return TimedResult::Acquired;
+  }
+  if (TimeoutNanos < 0) {
+    ++Counters.Acquisitions;
+    acquireSlow(Guard, Thread.index());
+    Hold = 1;
+    return TimedResult::Acquired;
+  }
+  skipAbandonedTickets();
+  if (Owner == 0 && ServingTicket == NextTicket) {
+    // Uncontended: acquire without the timed machinery (wait_for reads
+    // the clock up front even when the predicate is already true, which
+    // would tax every post-inflation acquisition).
+    ++Counters.Acquisitions;
+    ++NextTicket;
+    ++ServingTicket;
+    Owner = Thread.index();
+    Hold = 1;
+    return TimedResult::Acquired;
+  }
+  // As in lockIfLive: holding a ticket blocks retirement, so the monitor
+  // stays live until we either acquire or abandon.
+  uint64_t Ticket = NextTicket++;
+  if (Owner != 0 || ServingTicket != Ticket)
+    ++Counters.ContendedAcquisitions;
+  bool Served =
+      EntryCv.wait_for(Guard, std::chrono::nanoseconds(TimeoutNanos), [&] {
+        skipAbandonedTickets();
+        return Owner == 0 && ServingTicket == Ticket;
+      });
+  if (!Served) {
+    ++Counters.Timeouts;
+    // Abandon the ticket so later entrants are not stranded behind a
+    // thread that gave up; whoever next touches the FIFO skips it.
+    AbandonedTickets.push_back(Ticket);
+    EntryCv.notify_all();
+    return TimedResult::TimedOut;
+  }
+  ++Counters.Acquisitions;
+  Owner = Thread.index();
+  ++ServingTicket;
+  Hold = 1;
+  return TimedResult::Acquired;
+}
+
 FatLock::ReleaseResult
 FatLock::unlockAndTryRetire(const ThreadContext &Thread) {
   std::unique_lock<std::mutex> Guard(Mutex);
   if (Owner != Thread.index())
     return ReleaseResult::NotOwner;
   assert(Hold > 0 && "owner with zero hold count");
-  if (Hold == 1 && ServingTicket == NextTicket && ThreadsInWait == 0) {
+  skipAbandonedTickets();
+  if (Hold == 1 && !Pinned && ServingTicket == NextTicket &&
+      ThreadsInWait == 0) {
     // Fully quiescent: nobody is queued (tickets drained) and nobody is
     // waiting.  Retire instead of releasing; late arrivals that already
     // resolved this monitor bounce out of lockIfLive() and re-read the
@@ -94,6 +170,7 @@ FatLock::TryResult FatLock::tryLockStatus(const ThreadContext &Thread) {
     ++Hold;
     return TryResult::Acquired;
   }
+  skipAbandonedTickets();
   if (Owner != 0 || ServingTicket != NextTicket)
     return TryResult::Busy;
   ++Counters.Acquisitions;
@@ -115,6 +192,32 @@ void FatLock::lockWithCount(const ThreadContext &Thread, uint32_t Count) {
   ++ServingTicket;
   Owner = Thread.index();
   Hold = Count;
+}
+
+void FatLock::lockMergingCount(const ThreadContext &Thread, uint32_t Count) {
+  assert(Thread.isValid() && "locking with an unattached thread");
+  assert(Count > 0 && "inflation transfers at least one hold");
+  std::unique_lock<std::mutex> Guard(Mutex);
+  assert(!Retired && "emergency monitor must be pinned, never retired");
+  ++Counters.Acquisitions;
+  if (Owner == Thread.index()) {
+    // This thread already routed another object's inflation here: merge
+    // the transferred holds so lock/unlock pairs stay balanced.
+    Hold += Count;
+    return;
+  }
+  acquireSlow(Guard, Thread.index());
+  Hold = Count;
+}
+
+void FatLock::pin() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Pinned = true;
+}
+
+bool FatLock::isPinned() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Pinned;
 }
 
 void FatLock::unlock(const ThreadContext &Thread) {

@@ -60,6 +60,16 @@ public:
   /// cannot be stranded.
   bool lockIfLive(const ThreadContext &Thread);
 
+  /// Outcome of a bounded acquisition attempt.
+  enum class TimedResult { Acquired, TimedOut, Retired };
+
+  /// Like lockIfLive(), but gives up after \p TimeoutNanos (negative =
+  /// wait forever).  On timeout the thread abandons its FIFO ticket —
+  /// later entrants are not stranded behind it — and the caller typically
+  /// runs a deadlock check before retrying (see ThinLockImpl).
+  TimedResult lockIfLiveFor(const ThreadContext &Thread,
+                            int64_t TimeoutNanos);
+
   /// Releases one hold; when releasing the last hold finds the monitor
   /// completely quiescent (no queued entrants, no waiters), retires it:
   /// a retired monitor rejects all future use via lockIfLive().  The
@@ -84,6 +94,22 @@ public:
   /// this is guaranteed because inflation happens before the fat lock is
   /// published in the object's lock word.
   void lockWithCount(const ThreadContext &Thread, uint32_t Count);
+
+  /// Emergency-inflation variant of lockWithCount() for a *shared*
+  /// monitor (the MonitorTable's exhaustion fallback): blocks until the
+  /// monitor is free (FIFO), then credits \p Count holds — or, if the
+  /// calling thread already owns it because an earlier object of its
+  /// was also inflated onto this monitor, merges \p Count into the
+  /// existing hold count.
+  void lockMergingCount(const ThreadContext &Thread, uint32_t Count);
+
+  /// Marks this monitor as never retirable (the shared emergency monitor:
+  /// an unknown number of lock words may name it, so deflation must not
+  /// recycle it).
+  void pin();
+
+  /// \returns true if pin() was called.
+  bool isPinned() const;
 
   /// Releases one hold; the monitor is freed when the count reaches zero.
   /// Asserts that \p Thread is the owner.
@@ -134,11 +160,16 @@ private:
   // Mutex on entry and holds it on return.
   void acquireSlow(std::unique_lock<std::mutex> &Guard, uint16_t Index);
   void removeWaiter(WaitNode *Node);
+  // Advances ServingTicket past tickets whose owners timed out; Mutex
+  // must be held.  Keeps the FIFO moving (and the quiescence test
+  // meaningful) after a lockIfLiveFor() abandonment.
+  void skipAbandonedTickets();
 
   mutable std::mutex Mutex;
   std::condition_variable EntryCv;
   uint16_t Owner = 0;
   bool Retired = false;
+  bool Pinned = false;
   uint32_t Hold = 0;
   uint64_t NextTicket = 0;
   uint64_t ServingTicket = 0;
@@ -146,6 +177,9 @@ private:
   /// notify removes them from WaitSet but before they re-enter the
   /// ticket queue.  Retirement (deflation) must treat them as users.
   uint32_t ThreadsInWait = 0;
+  /// Tickets abandoned by timed-out entrants, not yet reached by
+  /// ServingTicket.  Almost always empty.
+  std::vector<uint64_t> AbandonedTickets;
   std::vector<WaitNode *> WaitSet;
   FatLockStats Counters;
 };

@@ -2,23 +2,36 @@
 
 #include "fatlock/MonitorTable.h"
 
-#include <cassert>
+#include "core/LockWord.h"
+#include "support/FailPoint.h"
+#include "support/Fatal.h"
 
 using namespace thinlocks;
 
-MonitorTable::MonitorTable() {
+MonitorTable::MonitorTable(uint32_t RequestedCapacity)
+    : Capacity(RequestedCapacity) {
+  if (Capacity < 2 || Capacity > MaxMonitorIndex)
+    fatalError("MonitorTable capacity %u out of range [2, %u]", Capacity,
+               MaxMonitorIndex);
   for (auto &Slot : Segments)
     Slot.store(nullptr, std::memory_order_relaxed);
+
+  // The emergency monitor occupies the top index from birth so that a lock
+  // word minted during exhaustion resolves through the same wait-free path
+  // as any other, and is pinned so the deflation extension can never
+  // retire a monitor that an unknown number of objects share.
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Storage.push_back(std::make_unique<FatLock>());
+  Emergency = Storage.back().get();
+  Emergency->pin();
+  Segment *Seg = segmentFor(Capacity);
+  (*Seg)[Capacity & (SegmentSize - 1)].store(Emergency,
+                                             std::memory_order_release);
 }
 
 MonitorTable::~MonitorTable() = default;
 
-uint32_t MonitorTable::allocate() {
-  std::lock_guard<std::mutex> Guard(Mutex);
-  if (NextIndex > MaxMonitorIndex)
-    return 0;
-  uint32_t Index = NextIndex++;
-
+MonitorTable::Segment *MonitorTable::segmentFor(uint32_t Index) {
   uint32_t SegmentIndex = Index >> SegmentSizeLog2;
   Segment *Seg = Segments[SegmentIndex].load(std::memory_order_relaxed);
   if (!Seg) {
@@ -29,7 +42,22 @@ uint32_t MonitorTable::allocate() {
     SegmentStorage.push_back(std::move(Fresh));
     Segments[SegmentIndex].store(Seg, std::memory_order_release);
   }
+  return Seg;
+}
 
+uint32_t MonitorTable::allocate() {
+  if (TL_FAILPOINT(MonitorTableExhausted)) {
+    ExhaustionEvents.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  std::lock_guard<std::mutex> Guard(Mutex);
+  if (NextIndex >= Capacity) {
+    ExhaustionEvents.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  uint32_t Index = NextIndex++;
+
+  Segment *Seg = segmentFor(Index);
   Storage.push_back(std::make_unique<FatLock>());
   FatLock *Lock = Storage.back().get();
   (*Seg)[Index & (SegmentSize - 1)].store(Lock, std::memory_order_release);
@@ -38,12 +66,41 @@ uint32_t MonitorTable::allocate() {
 }
 
 FatLock *MonitorTable::get(uint32_t Index) const {
-  assert(Index != 0 && Index <= MaxMonitorIndex && "bad monitor index");
+  if (Index == 0 || Index > Capacity)
+    fatalError("MonitorTable::get: monitor index %u out of range "
+               "(capacity %u)",
+               Index, Capacity);
   Segment *Seg =
       Segments[Index >> SegmentSizeLog2].load(std::memory_order_acquire);
-  assert(Seg && "monitor index names an unallocated segment");
   FatLock *Lock =
-      (*Seg)[Index & (SegmentSize - 1)].load(std::memory_order_acquire);
-  assert(Lock && "monitor index not allocated");
+      Seg ? (*Seg)[Index & (SegmentSize - 1)].load(std::memory_order_acquire)
+          : nullptr;
+  if (!Lock)
+    fatalError("MonitorTable::get: monitor index %u was never allocated "
+               "(%u live, capacity %u)",
+               Index, LiveCount.load(std::memory_order_relaxed), Capacity);
+  return Lock;
+}
+
+FatLock *MonitorTable::resolve(uint32_t LockWord) const {
+  if (!lockword::isFat(LockWord))
+    fatalError("corrupt lock word 0x%08x: shape bit says thin but a fat "
+               "lock was expected",
+               LockWord);
+  uint32_t Index =
+      (LockWord & lockword::MonitorIndexMask) >> lockword::MonitorIndexShift;
+  if (Index == 0 || Index > Capacity)
+    fatalError("corrupt lock word 0x%08x: monitor index %u out of range "
+               "(capacity %u)",
+               LockWord, Index, Capacity);
+  Segment *Seg =
+      Segments[Index >> SegmentSizeLog2].load(std::memory_order_acquire);
+  FatLock *Lock =
+      Seg ? (*Seg)[Index & (SegmentSize - 1)].load(std::memory_order_acquire)
+          : nullptr;
+  if (!Lock)
+    fatalError("corrupt lock word 0x%08x: monitor index %u was never "
+               "allocated (%u live)",
+               LockWord, Index, LiveCount.load(std::memory_order_relaxed));
   return Lock;
 }

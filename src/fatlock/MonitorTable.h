@@ -8,6 +8,16 @@
 /// by shifting the monitor index to the right and indexing into the
 /// vector" — no global lock, no hashing.  get() here is lock-free.
 ///
+/// Failure-mode engineering on top of the paper's design:
+///  - the index space is finite (capacity is configurable, default the
+///    full 23 bits); when allocate() exhausts it the caller degrades to a
+///    single pre-allocated *emergency monitor* shared by every object
+///    that inflates after exhaustion.  Mutual exclusion is preserved
+///    (coarsened); the event is counted, never undefined behavior.
+///  - get()/resolve() validate indices in every build mode and terminate
+///    with the bad index (and, for resolve, the whole lock word) instead
+///    of indexing garbage under NDEBUG.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef THINLOCKS_FATLOCK_MONITORTABLE_H
@@ -36,39 +46,73 @@ public:
   static constexpr uint32_t NumSegments =
       (MaxMonitorIndex + SegmentSize) / SegmentSize;
 
-  MonitorTable();
+  /// \param Capacity highest index this table will use.  allocate() hands
+  /// out 1 .. Capacity-1; index Capacity is the pre-allocated emergency
+  /// monitor.  Tests shrink this to exercise exhaustion without 8M
+  /// allocations.
+  explicit MonitorTable(uint32_t Capacity = MaxMonitorIndex);
   ~MonitorTable();
 
   MonitorTable(const MonitorTable &) = delete;
   MonitorTable &operator=(const MonitorTable &) = delete;
 
   /// Creates a fresh FatLock and \returns its index (>= 1), or 0 if the
-  /// 23-bit index space is exhausted.  The monitor stays alive for the
-  /// table's lifetime: the paper's discipline is that an inflated lock
-  /// "remains inflated for the lifetime of the object", and even under
-  /// the deflation extension a retired monitor's index is never reused
-  /// (a stale fat word must keep resolving to the *retired* monitor so
-  /// its holder learns to retry).
+  /// index space is exhausted (each failure is counted; see
+  /// exhaustionEvents()).  The monitor stays alive for the table's
+  /// lifetime: the paper's discipline is that an inflated lock "remains
+  /// inflated for the lifetime of the object", and even under the
+  /// deflation extension a retired monitor's index is never reused (a
+  /// stale fat word must keep resolving to the *retired* monitor so its
+  /// holder learns to retry).
   uint32_t allocate();
 
-  /// \returns the monitor for \p Index.  Wait-free; asserts the index was
-  /// allocated.
+  /// \returns the monitor for \p Index.  Wait-free.  A zero,
+  /// out-of-range, or never-allocated index is an invariant violation and
+  /// terminates with a diagnostic in every build mode.
   FatLock *get(uint32_t Index) const;
 
-  /// \returns how many monitors have been allocated.
+  /// Decodes and validates an *inflated* lock word and \returns its
+  /// monitor.  A thin word or a word naming an unallocated index is
+  /// corruption: the full word and the decoded index are reported before
+  /// terminating, in every build mode.
+  FatLock *resolve(uint32_t LockWord) const;
+
+  /// \returns the shared last-resort monitor every post-exhaustion
+  /// inflation maps to.  Always allocated, pinned (never retired by
+  /// deflation).
+  uint32_t emergencyIndex() const { return Capacity; }
+  FatLock *emergencyMonitor() const { return Emergency; }
+
+  /// \returns the configured capacity (largest index in use).
+  uint32_t capacity() const { return Capacity; }
+
+  /// \returns how many monitors have been allocated (excluding the
+  /// emergency monitor).
   uint32_t liveMonitorCount() const {
     return LiveCount.load(std::memory_order_relaxed);
+  }
+
+  /// \returns how many allocate() calls failed for exhaustion (including
+  /// injected exhaustion).
+  uint64_t exhaustionEvents() const {
+    return ExhaustionEvents.load(std::memory_order_relaxed);
   }
 
 private:
   using Segment = std::array<std::atomic<FatLock *>, SegmentSize>;
 
+  /// Ensures the segment covering \p Index exists; Mutex must be held.
+  Segment *segmentFor(uint32_t Index);
+
   mutable std::mutex Mutex;
   std::array<std::atomic<Segment *>, NumSegments> Segments;
   std::vector<std::unique_ptr<FatLock>> Storage;
   std::vector<std::unique_ptr<Segment>> SegmentStorage;
+  uint32_t Capacity;
+  FatLock *Emergency = nullptr;
   uint32_t NextIndex = 1;
   std::atomic<uint32_t> LiveCount{0};
+  std::atomic<uint64_t> ExhaustionEvents{0};
 };
 
 } // namespace thinlocks

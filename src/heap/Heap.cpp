@@ -48,3 +48,21 @@ Object *Heap::allocate(const ClassInfo &Class) {
   AllocatedBytes.fetch_add(Size, std::memory_order_relaxed);
   return Obj;
 }
+
+void Heap::forEachObject(
+    const std::function<void(const Object &)> &Fn) const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  for (const Block &B : Blocks) {
+    size_t Offset = 0;
+    while (Offset < B.Used) {
+      const Object *Obj =
+          reinterpret_cast<const Object *>(B.Storage.get() + Offset);
+      Fn(*Obj);
+      // Objects are laid out back to back; the class registry knows each
+      // one's slot count, which determines its footprint.
+      size_t Size = sizeof(Object) +
+                    sizeof(uint64_t) * Registry.classAt(Obj->classIndex()).SlotCount;
+      Offset += alignTo(Size, alignof(Object));
+    }
+  }
+}

@@ -16,6 +16,7 @@
 #include "heap/Object.h"
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -40,6 +41,13 @@ public:
   /// Allocates an instance of \p Class with zeroed slots.
   Object *allocate(const ClassInfo &Class);
 
+  /// Visits every live object, oldest first.  Holds the heap mutex for
+  /// the duration: \p Fn must not allocate from this heap.  Lock words
+  /// read during the walk are racy snapshots (they are atomics; owners
+  /// may be mutating them), which is exactly what the lock-census and
+  /// index-audit consumers want.
+  void forEachObject(const std::function<void(const Object &)> &Fn) const;
+
   /// \returns the class of \p Obj.
   const ClassInfo &classOf(const Object &Obj) const {
     return Registry.classAt(Obj.classIndex());
@@ -62,7 +70,7 @@ private:
     size_t Capacity = 0;
   };
 
-  std::mutex Mutex;
+  mutable std::mutex Mutex;
   ClassRegistry Registry;
   std::vector<Block> Blocks;
   size_t BlockBytes;

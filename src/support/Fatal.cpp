@@ -1,0 +1,22 @@
+//===- support/Fatal.cpp - Always-on fatal error reporting ----------------===//
+
+#include "support/Fatal.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace thinlocks;
+
+void thinlocks::fatalError(const char *Fmt, ...) {
+  // A fixed buffer keeps the failure path allocation-free; diagnostics
+  // longer than this are truncated, not dropped.
+  char Message[1024];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Message, sizeof(Message), Fmt, Args);
+  va_end(Args);
+  std::fprintf(stderr, "thinlocks fatal error: %s\n", Message);
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,26 @@
+//===- support/Fatal.h - Always-on fatal error reporting -------*- C++ -*-===//
+///
+/// \file
+/// Loud, unconditional failure for invariant violations that must not be
+/// compiled out.  `assert` disappears under NDEBUG, which turned several
+/// corruption checks (bad monitor indices, double thread detach, corrupt
+/// lock words) into undefined behavior in release builds; fatalError()
+/// prints a formatted diagnostic to stderr and aborts in *all* build
+/// modes.  It is for broken invariants only — recoverable conditions
+/// (resource exhaustion, timeouts) use typed results instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_SUPPORT_FATAL_H
+#define THINLOCKS_SUPPORT_FATAL_H
+
+namespace thinlocks {
+
+/// Prints "thinlocks fatal error: <message>" to stderr and aborts.
+/// printf-style; never returns and never allocates on the failure path.
+[[noreturn]] void fatalError(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_SUPPORT_FATAL_H

@@ -2,6 +2,9 @@
 
 #include "threads/ThreadRegistry.h"
 
+#include "support/FailPoint.h"
+#include "support/Fatal.h"
+
 #include <cassert>
 
 using namespace thinlocks;
@@ -22,7 +25,29 @@ ThreadRegistry::~ThreadRegistry() {
          "threads still attached at registry destruction");
 }
 
-ThreadContext ThreadRegistry::attach(std::string Name) {
+void ThreadRegistry::rescanQuarantine() {
+  if (Quarantined.empty())
+    return;
+  std::vector<uint16_t> StillHeld;
+  StillHeld.reserve(Quarantined.size());
+  for (uint16_t Index : Quarantined) {
+    if (Auditor && Auditor(Index))
+      StillHeld.push_back(Index);
+    else
+      FreeIndices.push_back(Index);
+  }
+  Quarantined.swap(StillHeld);
+}
+
+ThreadContext ThreadRegistry::attach(std::string Name, AttachError *Error) {
+  if (Error)
+    *Error = AttachError::None;
+  if (TL_FAILPOINT(ThreadRegistryExhausted)) {
+    ExhaustionEvents.fetch_add(1, std::memory_order_relaxed);
+    if (Error)
+      *Error = AttachError::Exhausted;
+    return ThreadContext();
+  }
   std::lock_guard<std::mutex> Guard(Mutex);
   uint16_t Index = 0;
   if (!FreeIndices.empty()) {
@@ -31,7 +56,18 @@ ThreadContext ThreadRegistry::attach(std::string Name) {
   } else if (NextFreshIndex <= MaxThreadIndex) {
     Index = NextFreshIndex++;
   } else {
-    return ThreadContext(); // Exhausted: 32767 live threads.
+    // Fresh space is gone: give quarantined indices a second look — the
+    // stale lock words pinning them may have been released since.
+    rescanQuarantine();
+    if (!FreeIndices.empty()) {
+      Index = FreeIndices.back();
+      FreeIndices.pop_back();
+    } else {
+      ExhaustionEvents.fetch_add(1, std::memory_order_relaxed);
+      if (Error)
+        *Error = AttachError::Exhausted;
+      return ThreadContext(); // Exhausted: 32767 live threads.
+    }
   }
 
   if (!Storage[Index])
@@ -40,6 +76,7 @@ ThreadContext ThreadRegistry::attach(std::string Name) {
   Info->Index = Index;
   Info->Name = std::move(Name);
   Info->NativeId = std::this_thread::get_id();
+  Info->BlockedOn.store(nullptr, std::memory_order_relaxed);
   Slots[Index].store(Info, std::memory_order_release);
 
   uint32_t Live = LiveCount.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -57,13 +94,30 @@ ThreadContext ThreadRegistry::attach(std::string Name) {
 }
 
 void ThreadRegistry::detach(ThreadContext &Ctx) {
-  assert(Ctx.isValid() && "detaching an invalid context");
-  assert(Ctx.Registry == this && "context belongs to another registry");
+  // These are API-contract violations that corrupt the index space if
+  // allowed through, so they stay fatal when asserts are compiled out.
+  if (!Ctx.isValid())
+    fatalError("ThreadRegistry::detach: invalid (already detached?) "
+               "context");
+  if (Ctx.Registry != this)
+    fatalError("ThreadRegistry::detach: context for thread index %u "
+               "belongs to another registry",
+               Ctx.Index);
   std::lock_guard<std::mutex> Guard(Mutex);
-  assert(Slots[Ctx.Index].load(std::memory_order_relaxed) != nullptr &&
-         "double detach");
+  ThreadInfo *Info = Slots[Ctx.Index].load(std::memory_order_relaxed);
+  if (Info == nullptr)
+    fatalError("ThreadRegistry::detach: double detach of thread index %u",
+               Ctx.Index);
+  Info->BlockedOn.store(nullptr, std::memory_order_relaxed);
   Slots[Ctx.Index].store(nullptr, std::memory_order_release);
-  FreeIndices.push_back(Ctx.Index);
+  if (Auditor && Auditor(Ctx.Index)) {
+    // The index is still encoded in some live lock word (the detaching
+    // thread abandoned a held lock).  Recycling it now would let the
+    // next attach() impersonate that owner, so park it instead.
+    Quarantined.push_back(Ctx.Index);
+  } else {
+    FreeIndices.push_back(Ctx.Index);
+  }
   LiveCount.fetch_sub(1, std::memory_order_relaxed);
   Ctx = ThreadContext();
 }
@@ -72,6 +126,30 @@ const ThreadInfo *ThreadRegistry::info(uint16_t Index) const {
   if (Index == 0 || Index > MaxThreadIndex)
     return nullptr;
   return Slots[Index].load(std::memory_order_acquire);
+}
+
+void ThreadRegistry::setBlockedOn(const ThreadContext &Ctx,
+                                  const Object *Obj) {
+  assert(Ctx.isValid() && Ctx.Registry == this &&
+         "publishing a waits-for edge for a foreign context");
+  ThreadInfo *Info = Slots[Ctx.Index].load(std::memory_order_acquire);
+  if (Info)
+    Info->BlockedOn.store(Obj, std::memory_order_release);
+}
+
+const Object *ThreadRegistry::blockedOn(uint16_t Index) const {
+  const ThreadInfo *Info = info(Index);
+  return Info ? Info->BlockedOn.load(std::memory_order_acquire) : nullptr;
+}
+
+void ThreadRegistry::setIndexAuditor(IndexAuditor NewAuditor) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Auditor = std::move(NewAuditor);
+}
+
+uint32_t ThreadRegistry::quarantinedIndexCount() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return static_cast<uint32_t>(Quarantined.size());
 }
 
 ThreadContext ThreadRegistry::currentContext() {

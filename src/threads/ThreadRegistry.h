@@ -6,6 +6,20 @@
 /// table we maintain which maps thread indices to thread pointers").
 /// Index 0 is reserved: a thin lock word with thread index 0 is unlocked.
 ///
+/// Robustness layers beyond the paper:
+///  - attach() reports exhaustion of the 32767-index space as a typed
+///    AttachError the VM surfaces as a trap, instead of only an invalid
+///    context the caller may forget to test;
+///  - each ThreadInfo publishes which object its thread is currently
+///    blocked on, forming the waits-for edges of the deadlock detector's
+///    owner graph (core/Deadlock.h);
+///  - detach() can *quarantine* an index instead of recycling it when an
+///    installed auditor reports the index is still encoded in a live
+///    lock word — preventing a fresh thread from inheriting a stale
+///    index and falsely "owning" somebody's abandoned lock.  Quarantined
+///    indices are re-audited (and reclaimed) when the free space runs
+///    dry.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef THINLOCKS_THREADS_THREADREGISTRY_H
@@ -14,6 +28,7 @@
 #include "threads/ThreadContext.h"
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -22,11 +37,23 @@
 
 namespace thinlocks {
 
+class Object;
+
 /// Bookkeeping for one attached thread.
 struct ThreadInfo {
   uint16_t Index = 0;
   std::string Name;
   std::thread::id NativeId;
+  /// The object this thread is currently blocked acquiring (null when
+  /// running).  Published by the contention slow paths; consumed by the
+  /// deadlock detector's owner-graph walk.
+  std::atomic<const Object *> BlockedOn{nullptr};
+};
+
+/// Why attach() failed to produce a valid context.
+enum class AttachError : uint8_t {
+  None,      ///< Attached successfully.
+  Exhausted, ///< All 32767 indices are live or quarantined.
 };
 
 /// Allocates and recycles 15-bit thread indices and owns the index->info
@@ -36,6 +63,12 @@ public:
   /// Largest usable index (index 0 is the reserved "unlocked" encoding).
   static constexpr uint16_t MaxThreadIndex = (1u << 15) - 1;
 
+  /// Callback asked whether \p Index is still encoded in any live lock
+  /// word (thin owner field or fat-lock owner).  \returns true to keep
+  /// the index quarantined.  See core/OwnershipAudit.h for the standard
+  /// heap-scanning implementation.
+  using IndexAuditor = std::function<bool(uint16_t Index)>;
+
   ThreadRegistry();
   ~ThreadRegistry();
 
@@ -43,17 +76,36 @@ public:
   ThreadRegistry &operator=(const ThreadRegistry &) = delete;
 
   /// Registers the calling thread and assigns it an index.  \returns an
-  /// invalid context (isValid() == false) if all 32767 indices are in use.
-  ThreadContext attach(std::string Name = std::string());
+  /// invalid context (isValid() == false) if all 32767 indices are in
+  /// use; when \p Error is non-null it receives the typed reason.
+  ThreadContext attach(std::string Name = std::string(),
+                       AttachError *Error = nullptr);
 
-  /// Releases \p Ctx's index for reuse and invalidates \p Ctx.  The caller
-  /// must not hold any lock owned under this identity.
+  /// Releases \p Ctx's index and invalidates \p Ctx.  The caller must
+  /// not hold any lock owned under this identity; when an index auditor
+  /// is installed, an index that still appears in a live lock word is
+  /// quarantined instead of recycled, so a later attach() cannot
+  /// impersonate the stale owner.  Detaching an invalid, foreign, or
+  /// already-detached context terminates with a diagnostic in every
+  /// build mode.
   void detach(ThreadContext &Ctx);
 
   /// \returns the info for an attached index, or nullptr if \p Index is
   /// not currently attached.  Safe to call concurrently with attach and
   /// detach of *other* indices.
   const ThreadInfo *info(uint16_t Index) const;
+
+  /// Publishes / clears the object \p Ctx's thread is blocked acquiring
+  /// (waits-for edge for deadlock detection).  Lock-free.
+  void setBlockedOn(const ThreadContext &Ctx, const Object *Obj);
+
+  /// \returns the object thread \p Index is currently blocked on, or
+  /// nullptr (racy snapshot; pair with re-validation).
+  const Object *blockedOn(uint16_t Index) const;
+
+  /// Installs the auditor consulted by detach() and by quarantine
+  /// rescans.  Pass nullptr to restore unconditional recycling.
+  void setIndexAuditor(IndexAuditor Auditor);
 
   /// \returns the number of currently attached threads.
   uint32_t liveThreadCount() const {
@@ -65,19 +117,35 @@ public:
     return PeakCount.load(std::memory_order_relaxed);
   }
 
+  /// \returns how many detached indices are parked in quarantine because
+  /// a live lock word still encodes them.
+  uint32_t quarantinedIndexCount() const;
+
+  /// \returns how many attach() calls failed for index exhaustion.
+  uint64_t exhaustionEvents() const {
+    return ExhaustionEvents.load(std::memory_order_relaxed);
+  }
+
   /// \returns the context the calling thread most recently attached with
   /// through this registry (thread-local), or an invalid context.
   static ThreadContext currentContext();
 
 private:
+  /// Re-audits quarantined indices, moving released ones to the free
+  /// list; Mutex must be held.
+  void rescanQuarantine();
+
   mutable std::mutex Mutex;
   // Slot I holds the info for index I while attached, nullptr otherwise.
   std::vector<std::atomic<ThreadInfo *>> Slots;
   std::vector<std::unique_ptr<ThreadInfo>> Storage;
   std::vector<uint16_t> FreeIndices;
+  std::vector<uint16_t> Quarantined;
+  IndexAuditor Auditor;
   uint16_t NextFreshIndex = 1;
   std::atomic<uint32_t> LiveCount{0};
   std::atomic<uint32_t> PeakCount{0};
+  std::atomic<uint64_t> ExhaustionEvents{0};
 };
 
 /// RAII attachment: attaches on construction, detaches on destruction, and

@@ -117,6 +117,8 @@ const char *vm::trapName(Trap T) {
     return "VerifyError";
   case Trap::IndexOutOfBounds:
     return "IndexOutOfBoundsException";
+  case Trap::ThreadExhausted:
+    return "OutOfMemoryError: unable to create native thread";
   }
   return "<bad trap>";
 }

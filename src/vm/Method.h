@@ -42,6 +42,9 @@ enum class Trap : uint8_t {
   UnknownMethod,
   BadBytecode,
   IndexOutOfBounds,
+  /// spawn() could not attach: the registry's 15-bit index space is
+  /// exhausted (java.lang.OutOfMemoryError: unable to create thread).
+  ThreadExhausted,
 };
 
 /// \returns a printable name for \p T.

@@ -2,6 +2,7 @@
 
 #include "vm/VM.h"
 
+#include "core/OwnershipAudit.h"
 #include "vm/Interpreter.h"
 
 #include <cassert>
@@ -25,14 +26,19 @@ const char *vm::protocolKindName(ProtocolKind Kind) {
 
 VM::VM() : VM(Config()) {}
 
-VM::VM(Config Cfg) : Cfg(Cfg) {
+VM::VM(Config Cfg) : Cfg(Cfg), Monitors(Cfg.MonitorCapacity) {
   switch (Cfg.Protocol) {
   case ProtocolKind::ThinLock:
     Thin = std::make_unique<ThinLockManager>(
         Monitors, Cfg.CollectLockStats ? &Stats : nullptr,
         Cfg.ThinLockDeflation ? DeflationPolicy::WhenQuiescent
-                              : DeflationPolicy::Never);
+                              : DeflationPolicy::Never,
+        Cfg.Contention);
     Backend = makeSyncBackend(*Thin);
+    // Thread-index recycling safety: detach() quarantines any index a
+    // live lock word still encodes (a thread that died holding a lock),
+    // so the next spawn cannot impersonate the stale owner.
+    Registry.setIndexAuditor(makeLockWordAuditor(TheHeap, Monitors));
     break;
   case ProtocolKind::MonitorCache:
     Jdk111 = std::make_unique<MonitorCache>(Cfg.MonitorCachePoolSize);
@@ -187,6 +193,12 @@ VM::VMThread VM::spawn(const Method &M, std::vector<Value> Args,
   Handle.Worker = std::thread([this, &M, Args = std::move(Args),
                                Name = std::move(ThreadName), Slot]() {
     ScopedThreadAttachment Attachment(Registry, Name);
+    if (!Attachment.context().isValid()) {
+      // Registry index space exhausted: surface a typed trap instead of
+      // running bytecode with a context every lock op would reject.
+      Slot->TrapKind = Trap::ThreadExhausted;
+      return;
+    }
     *Slot = call(M, Args, Attachment.context());
   });
   return Handle;

@@ -69,6 +69,13 @@ public:
     bool ThinLockDeflation = false;
     /// Record LockStats (thin-lock protocol only).
     bool CollectLockStats = false;
+    /// Fat-lock table size (thin-lock protocol).  Lowering it makes the
+    /// exhaustion degradation path testable without 8M inflations; the
+    /// table's shared emergency monitor absorbs overflow either way.
+    uint32_t MonitorCapacity = MonitorTable::MaxMonitorIndex;
+    /// Thin-lock contention tuning (escalation ladder + deadlock
+    /// watchdog).
+    ContentionOptions Contention;
   };
 
   /// Constructs a VM with default configuration (thin locks).
