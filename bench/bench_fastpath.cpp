@@ -64,6 +64,36 @@ void FastPath_ThinNestedPair(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations());
 }
 
+void FastPath_ThinLockPairStats(benchmark::State &State) {
+  // Instrumented variant: the striped-counter design requires the
+  // stats-enabled pair to stay within 10% of the bare pair, so that
+  // Table-1/Fig-3 collection runs measure the protocol, not the
+  // bookkeeping.
+  Env E;
+  LockStats Stats;
+  ThinLockManager Locks(E.Monitors, &Stats);
+  Object *Obj = E.newObject();
+  for (auto _ : State) {
+    Locks.lock(Obj, E.thread());
+    Locks.unlock(Obj, E.thread());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void FastPath_ThinNestedPairStats(benchmark::State &State) {
+  Env E;
+  LockStats Stats;
+  ThinLockManager Locks(E.Monitors, &Stats);
+  Object *Obj = E.newObject();
+  Locks.lock(Obj, E.thread());
+  for (auto _ : State) {
+    Locks.lock(Obj, E.thread());
+    Locks.unlock(Obj, E.thread());
+  }
+  Locks.unlock(Obj, E.thread());
+  State.SetItemsProcessed(State.iterations());
+}
+
 void FastPath_ThinLockPairUP(benchmark::State &State) {
   Env E;
   ThinLockUP Locks(E.Monitors);
@@ -187,6 +217,8 @@ void FastPath_HoldsLockQuery(benchmark::State &State) {
 
 BENCHMARK(FastPath_ThinLockPair);
 BENCHMARK(FastPath_ThinNestedPair);
+BENCHMARK(FastPath_ThinLockPairStats);
+BENCHMARK(FastPath_ThinNestedPairStats);
 BENCHMARK(FastPath_ThinLockPairUP);
 BENCHMARK(FastPath_ThinLockPairMP);
 BENCHMARK(FastPath_ThinLockPairCasUnlock);

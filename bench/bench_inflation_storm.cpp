@@ -1,0 +1,114 @@
+//===- bench/bench_inflation_storm.cpp - Inflation-path scalability -------===//
+//
+// The paper's protocol makes the *lock* path scale (one CAS on a private
+// header word), but every inflation funnels through MonitorTable
+// allocation.  This suite measures that funnel directly: N threads
+// inflating a stream of fresh objects (Storm_Inflate) and N threads
+// hammering the raw allocator (Storm_AllocateOnly).  Before the sharded
+// allocator, both serialized on MonitorTable::Mutex; after, index blocks
+// are reserved in bulk and handed out from per-thread shards lock-free.
+//
+// Numbers feed BENCH_contention.json (bench/run_benches.sh) and the
+// DESIGN.md "Hot-path scalability" trajectory.  Inflation is permanent
+// (every monitor allocated in a run stays live), so thread 0 rebuilds
+// the heap and table before each run — the google-benchmark start
+// barrier makes the thread-0 setup/teardown idiom safe — keeping both
+// the 23-bit index space and memory bounded across repetitions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ThinLock.h"
+#include "heap/Heap.h"
+#include "threads/ThreadRegistry.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+using namespace thinlocks;
+
+namespace {
+
+constexpr int64_t StormIterations = 32768;
+constexpr int StormRepetitions = 5;
+
+// Shared across all threads of a benchmark run (magic-static init is
+// thread-safe; google-benchmark starts worker threads concurrently).
+struct StormEnv {
+  ThreadRegistry Registry;
+  std::unique_ptr<MonitorTable> Monitors;
+  std::unique_ptr<ThinLockManager> Locks;
+
+  StormEnv() { reset(); }
+
+  /// Rebuilds the measured state.  Called by thread 0 before each run,
+  /// which the start barrier orders before any worker's first iteration.
+  void reset() {
+    Locks.reset();
+    Monitors = std::make_unique<MonitorTable>();
+    Locks = std::make_unique<ThinLockManager>(*Monitors);
+  }
+};
+
+StormEnv &env() {
+  static StormEnv E;
+  return E;
+}
+
+/// N threads, each locking and force-inflating its own stream of fresh
+/// objects: the full inflation path (thin CAS + monitor allocation +
+/// hold transfer + fat publish + fat unlock).
+void Storm_Inflate(benchmark::State &State) {
+  StormEnv &E = env();
+  if (State.thread_index() == 0)
+    E.reset();
+  ScopedThreadAttachment Attach(E.Registry, "storm");
+  // Pre-allocate the object stream outside the timed region (the arena
+  // heap takes its own mutex; that is not the funnel under test).  The
+  // stream comes from a per-thread private heap: pre-loop code runs
+  // concurrently with thread 0's reset(), so workers must not touch the
+  // shared env until the start barrier.
+  Heap PrivateHeap;
+  const ClassInfo &Class = PrivateHeap.classes().registerClass("S", 0);
+  std::vector<Object *> Objects(static_cast<size_t>(State.max_iterations));
+  for (auto &Obj : Objects)
+    Obj = PrivateHeap.allocate(Class);
+  size_t Next = 0;
+  for (auto _ : State) {
+    Object *Obj = Objects[Next++];
+    E.Locks->lock(Obj, Attach.context());
+    benchmark::DoNotOptimize(E.Locks->inflate(Obj, Attach.context()));
+    E.Locks->unlock(Obj, Attach.context());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+/// N threads on the raw allocator: isolates MonitorTable::allocate()
+/// from the protocol around it.
+void Storm_AllocateOnly(benchmark::State &State) {
+  StormEnv &E = env();
+  if (State.thread_index() == 0)
+    E.reset();
+  ScopedThreadAttachment Attach(E.Registry, "storm-alloc");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(E.Monitors->allocate());
+  State.SetItemsProcessed(State.iterations());
+}
+
+BENCHMARK(Storm_Inflate)
+    ->ThreadRange(1, 8)
+    ->Iterations(StormIterations)
+    ->Repetitions(StormRepetitions)
+    ->ReportAggregatesOnly(true)
+    ->UseRealTime();
+BENCHMARK(Storm_AllocateOnly)
+    ->ThreadRange(1, 8)
+    ->Iterations(StormIterations)
+    ->Repetitions(StormRepetitions)
+    ->ReportAggregatesOnly(true)
+    ->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+#===- bench/run_benches.sh - Machine-readable bench trajectory ----------===#
+#
+# Runs the google-benchmark suites in JSON mode and aggregates the
+# results into BENCH_fastpath.json and BENCH_contention.json at the repo
+# root.  These files are the committed perf trajectory: regenerate them
+# from a `bench` preset build when a PR touches a hot path, and compare
+# against the committed copy before overwriting it.
+#
+# Usage:
+#   cmake --preset bench && cmake --build --preset bench -j
+#   bench/run_benches.sh [build-dir]     # default: build-bench
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build-bench}"
+case "$BUILD_DIR" in /*) ;; *) BUILD_DIR="$ROOT/$BUILD_DIR" ;; esac
+
+# Suites per trajectory file.  bench_fastpath is the per-operation cost
+# ledger (paper §2/§3.3); bench_inflation_storm is the multi-thread
+# inflation/allocation sweep behind the hot-path-scalability work.
+FASTPATH_SUITES=(bench_fastpath)
+CONTENTION_SUITES=(bench_inflation_storm)
+
+for Suite in "${FASTPATH_SUITES[@]}" "${CONTENTION_SUITES[@]}"; do
+  if [ ! -x "$BUILD_DIR/bench/$Suite" ]; then
+    echo "error: $BUILD_DIR/bench/$Suite not found." >&2
+    echo "Build it first:  cmake --preset bench && cmake --build --preset bench -j" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+run_suite() {
+  local Suite="$1"; shift
+  echo "== $Suite" >&2
+  "$BUILD_DIR/bench/$Suite" "$@" \
+    --benchmark_format=console \
+    --benchmark_out="$TMP/$Suite.json" \
+    --benchmark_out_format=json >&2
+}
+
+# Fast-path benches are single-run by default (interactive use); for the
+# committed trajectory force repetitions so the JSON records medians.
+# The contention suites set Repetitions(5) per-benchmark already.
+for Suite in "${FASTPATH_SUITES[@]}"; do
+  run_suite "$Suite" \
+    --benchmark_repetitions=5 --benchmark_report_aggregates_only=true
+done
+for Suite in "${CONTENTION_SUITES[@]}"; do
+  run_suite "$Suite"
+done
+
+# Merge the per-suite JSON files: one shared context (identical flags for
+# every suite in a run) plus the concatenated benchmark records, each
+# tagged with its suite of origin.
+merge() {
+  local Out="$1"; shift
+  python3 - "$Out" "$@" <<'PYEOF'
+import json, sys
+
+out_path, *inputs = sys.argv[1:]
+merged = {"context": None, "benchmarks": []}
+for path in inputs:
+    with open(path) as f:
+        doc = json.load(f)
+    suite = path.rsplit("/", 1)[-1].removesuffix(".json")
+    if merged["context"] is None:
+        ctx = doc.get("context", {})
+        ctx.pop("executable", None)  # per-suite; the suite tag replaces it
+        merged["context"] = ctx
+    for bench in doc.get("benchmarks", []):
+        bench["suite"] = suite
+        merged["benchmarks"].append(bench)
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
+PYEOF
+}
+
+FASTPATH_INPUTS=(); for S in "${FASTPATH_SUITES[@]}"; do FASTPATH_INPUTS+=("$TMP/$S.json"); done
+CONTENTION_INPUTS=(); for S in "${CONTENTION_SUITES[@]}"; do CONTENTION_INPUTS+=("$TMP/$S.json"); done
+
+merge "$ROOT/BENCH_fastpath.json" "${FASTPATH_INPUTS[@]}"
+merge "$ROOT/BENCH_contention.json" "${CONTENTION_INPUTS[@]}"

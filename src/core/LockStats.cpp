@@ -6,18 +6,43 @@
 
 using namespace thinlocks;
 
-double LockStats::depthFraction(unsigned Bucket) const {
-  uint64_t All = Total.value();
-  if (All == 0)
+LockStats::Snapshot LockStats::snapshot() const {
+  Snapshot S;
+  S.FastPath = FastPathAcquires.value();
+  // Fast-path acquires are depth-1 by construction; fold them into
+  // bucket 0 so the buckets (and their sum) cover every acquisition.
+  S.DepthBuckets[0] = S.FastPath;
+  for (unsigned Bucket = 0; Bucket < NumDepthBuckets; ++Bucket) {
+    S.DepthBuckets[Bucket] += DepthBuckets[Bucket].value();
+    S.Acquisitions += S.DepthBuckets[Bucket];
+  }
+  S.Releases = Releases.value();
+  S.FatPath = FatPath.value();
+  S.SpinIterations = SpinIterations.value();
+  S.ContentionInflations = ContentionInflations.value();
+  S.OverflowInflations = OverflowInflations.value();
+  S.WaitInflations = WaitInflations.value();
+  S.Deflations = Deflations.value();
+  S.EmergencyInflations = EmergencyInflations.value();
+  S.TimedOutAcquisitions = TimedOutAcquisitions.value();
+  S.DeadlocksDetected = DeadlocksDetected.value();
+  return S;
+}
+
+double LockStats::Snapshot::depthFraction(unsigned Bucket) const {
+  if (Acquisitions == 0)
     return 0.0;
-  return static_cast<double>(DepthBuckets[Bucket].value()) /
-         static_cast<double>(All);
+  return static_cast<double>(DepthBuckets[Bucket]) /
+         static_cast<double>(Acquisitions);
+}
+
+double LockStats::depthFraction(unsigned Bucket) const {
+  return snapshot().depthFraction(Bucket);
 }
 
 void LockStats::reset() {
-  Total.reset();
   Releases.reset();
-  FastPath.reset();
+  FastPathAcquires.reset();
   FatPath.reset();
   SpinIterations.reset();
   ContentionInflations.reset();
@@ -32,6 +57,7 @@ void LockStats::reset() {
 }
 
 std::string LockStats::summary() const {
+  Snapshot S = snapshot();
   char Buffer[512];
   std::snprintf(
       Buffer, sizeof(Buffer),
@@ -40,19 +66,19 @@ std::string LockStats::summary() const {
       "emergency=%llu deflations=%llu\n"
       "degraded: timeouts=%llu deadlocks=%llu\n"
       "depth: first=%.1f%% second=%.1f%% third=%.1f%% fourth+=%.1f%%\n",
-      static_cast<unsigned long long>(totalAcquisitions()),
-      static_cast<unsigned long long>(totalReleases()),
-      static_cast<unsigned long long>(fastPathAcquisitions()),
-      static_cast<unsigned long long>(fatPathAcquisitions()),
-      static_cast<unsigned long long>(spinIterations()),
-      static_cast<unsigned long long>(contentionInflations()),
-      static_cast<unsigned long long>(overflowInflations()),
-      static_cast<unsigned long long>(waitInflations()),
-      static_cast<unsigned long long>(emergencyInflations()),
-      static_cast<unsigned long long>(deflations()),
-      static_cast<unsigned long long>(timedOutAcquisitions()),
-      static_cast<unsigned long long>(deadlocksDetected()),
-      depthFraction(0) * 100.0, depthFraction(1) * 100.0,
-      depthFraction(2) * 100.0, depthFraction(3) * 100.0);
+      static_cast<unsigned long long>(S.Acquisitions),
+      static_cast<unsigned long long>(S.Releases),
+      static_cast<unsigned long long>(S.FastPath),
+      static_cast<unsigned long long>(S.FatPath),
+      static_cast<unsigned long long>(S.SpinIterations),
+      static_cast<unsigned long long>(S.ContentionInflations),
+      static_cast<unsigned long long>(S.OverflowInflations),
+      static_cast<unsigned long long>(S.WaitInflations),
+      static_cast<unsigned long long>(S.EmergencyInflations),
+      static_cast<unsigned long long>(S.Deflations),
+      static_cast<unsigned long long>(S.TimedOutAcquisitions),
+      static_cast<unsigned long long>(S.DeadlocksDetected),
+      S.depthFraction(0) * 100.0, S.depthFraction(1) * 100.0,
+      S.depthFraction(2) * 100.0, S.depthFraction(3) * 100.0);
   return Buffer;
 }

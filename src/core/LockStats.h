@@ -8,6 +8,12 @@
 /// nullable LockStats* and skip all recording when it is null, so
 /// measurement runs pay nothing.
 ///
+/// Counters are striped (see support/StatsCounter.h), so recording from
+/// many threads does not serialize on shared cache lines.  Every
+/// acquisition lands in exactly one depth bucket, so the total
+/// acquisition count is derived as the bucket sum rather than kept as a
+/// thirteenth counter — the acquire hot path bumps one counter, not two.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef THINLOCKS_CORE_LOCKSTATS_H
@@ -28,16 +34,49 @@ public:
   /// 1 = second (nested once), 2 = third, 3 = fourth or deeper.
   static constexpr unsigned NumDepthBuckets = 4;
 
+  /// A coherent point-in-time copy of every counter.  Each field is read
+  /// once from the live (striped) counters, so derived views — summary
+  /// lines, depth fractions, ratios — agree with each other even while
+  /// other threads keep recording.
+  struct Snapshot {
+    uint64_t Acquisitions = 0;
+    uint64_t Releases = 0;
+    uint64_t FastPath = 0;
+    uint64_t FatPath = 0;
+    uint64_t SpinIterations = 0;
+    uint64_t ContentionInflations = 0;
+    uint64_t OverflowInflations = 0;
+    uint64_t WaitInflations = 0;
+    uint64_t Deflations = 0;
+    uint64_t EmergencyInflations = 0;
+    uint64_t TimedOutAcquisitions = 0;
+    uint64_t DeadlocksDetected = 0;
+    std::array<uint64_t, NumDepthBuckets> DepthBuckets{};
+
+    uint64_t inflations() const {
+      return ContentionInflations + OverflowInflations + WaitInflations;
+    }
+
+    /// \returns bucket \p Bucket as a fraction of all acquisitions (0
+    /// when nothing has been recorded).
+    double depthFraction(unsigned Bucket) const;
+  };
+
   /// Records one acquisition at nesting depth \p Depth (1-based).
   void recordAcquire(uint32_t Depth) {
-    Total.increment();
     unsigned Bucket = Depth >= NumDepthBuckets ? NumDepthBuckets - 1
                                                : Depth - 1;
     DepthBuckets[Bucket].increment();
   }
 
+  /// Records a depth-1 acquisition taken via the thin CAS fast path.
+  /// One counter bump on the hottest path in the system:
+  /// fastPathAcquisitions() *and* depth bucket 0 are both derived from
+  /// it (slow-path depth-1 acquires land in DepthBuckets[0] via
+  /// recordAcquire, and the views sum the two).
+  void recordFastPathAcquire() { FastPathAcquires.increment(); }
+
   void recordRelease() { Releases.increment(); }
-  void recordFastPath() { FastPath.increment(); }
   void recordFatPath() { FatPath.increment(); }
   void recordSpinIterations(uint64_t N) { SpinIterations.increment(N); }
   void recordContentionInflation() { ContentionInflations.increment(); }
@@ -52,9 +91,17 @@ public:
   /// The owner-graph walker confirmed a waits-for cycle.
   void recordDeadlock() { DeadlocksDetected.increment(); }
 
-  uint64_t totalAcquisitions() const { return Total.value(); }
+  /// Reads every counter once into a coherent copy.
+  Snapshot snapshot() const;
+
+  uint64_t totalAcquisitions() const {
+    uint64_t Sum = FastPathAcquires.value();
+    for (const auto &Bucket : DepthBuckets)
+      Sum += Bucket.value();
+    return Sum;
+  }
   uint64_t totalReleases() const { return Releases.value(); }
-  uint64_t fastPathAcquisitions() const { return FastPath.value(); }
+  uint64_t fastPathAcquisitions() const { return FastPathAcquires.value(); }
   uint64_t fatPathAcquisitions() const { return FatPath.value(); }
   uint64_t spinIterations() const { return SpinIterations.value(); }
   uint64_t contentionInflations() const {
@@ -74,7 +121,10 @@ public:
 
   /// \returns the acquisition count in Figure 3 bucket \p Bucket (0..3).
   uint64_t depthBucket(unsigned Bucket) const {
-    return DepthBuckets[Bucket].value();
+    uint64_t Count = DepthBuckets[Bucket].value();
+    if (Bucket == 0)
+      Count += FastPathAcquires.value();
+    return Count;
   }
 
   /// \returns bucket \p Bucket as a fraction of all acquisitions (0 when
@@ -87,9 +137,8 @@ public:
   std::string summary() const;
 
 private:
-  StatsCounter Total;
   StatsCounter Releases;
-  StatsCounter FastPath;
+  StatsCounter FastPathAcquires;
   StatsCounter FatPath;
   StatsCounter SpinIterations;
   StatsCounter ContentionInflations;

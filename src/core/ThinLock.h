@@ -148,10 +148,8 @@ public:
     }
     if (TL_LIKELY(Acquired)) {
       Policy::afterAcquireFence();
-      if (TL_UNLIKELY(Stats != nullptr)) {
-        Stats->recordFastPath();
-        Stats->recordAcquire(1);
-      }
+      if (TL_UNLIKELY(Stats != nullptr))
+        Stats->recordFastPathAcquire();
       return;
     }
     // The failed CAS loaded the current word into Old.  §2.3.3: check
@@ -248,47 +246,49 @@ public:
   bool tryLock(Object *Obj, const ThreadContext &Thread) {
     std::atomic<uint32_t> &Word = Obj->lockWord();
     uint32_t Shifted = Thread.shiftedIndex();
-  Retry:
-    uint32_t Value = Word.load(std::memory_order_relaxed);
-    if (lockword::isFat(Value)) {
-      FatLock *Fat = Monitors.resolve(Value);
-      switch (Fat->tryLockStatus(Thread)) {
-      case FatLock::TryResult::Acquired:
-        if (Stats) {
-          Stats->recordFatPath();
-          Stats->recordAcquire(Fat->holdCount());
+    SpinWait Spinner(Options.Spin);
+    for (;;) {
+      uint32_t Value = Word.load(std::memory_order_relaxed);
+      if (lockword::isFat(Value)) {
+        FatLock *Fat = Monitors.resolve(Value);
+        switch (Fat->tryLockStatus(Thread)) {
+        case FatLock::TryResult::Acquired:
+          if (Stats) {
+            Stats->recordFatPath();
+            Stats->recordAcquire(Fat->holdCount());
+          }
+          return true;
+        case FatLock::TryResult::Busy:
+          return false;
+        case FatLock::TryResult::Retired:
+          // Deflated under us; the word is changing.  Back off on the
+          // escalation ladder (pause -> yield -> park) until the
+          // deflater publishes the restored header: a bare yield loop
+          // burns CPU against a descheduled deflater and never parks.
+          Spinner.spinOnce();
+          continue;
         }
-        return true;
-      case FatLock::TryResult::Busy:
-        return false;
-      case FatLock::TryResult::Retired:
-        // Deflated under us; the word is changing. Yield so the
-        // deflater can publish, then re-read.
-        std::this_thread::yield();
-        goto Retry;
       }
-    }
-    if (lockword::isUnlocked(Value)) {
-      uint32_t Old = Value & lockword::HeaderBitsMask;
-      if (Word.compare_exchange_strong(Old, Old | Shifted,
-                                       std::memory_order_acquire,
-                                       std::memory_order_relaxed)) {
-        Policy::afterAcquireFence();
-        if (Stats) {
-          Stats->recordFastPath();
-          Stats->recordAcquire(1);
+      if (lockword::isUnlocked(Value)) {
+        uint32_t Old = Value & lockword::HeaderBitsMask;
+        if (Word.compare_exchange_strong(Old, Old | Shifted,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          Policy::afterAcquireFence();
+          if (Stats)
+            Stats->recordFastPathAcquire();
+          return true;
         }
+        return false;
+      }
+      if (lockword::canNestInline(Value, Shifted)) {
+        Word.store(Value + lockword::CountUnit, std::memory_order_relaxed);
+        if (Stats)
+          Stats->recordAcquire(lockword::countOf(Value) + 2);
         return true;
       }
       return false;
     }
-    if (lockword::canNestInline(Value, Shifted)) {
-      Word.store(Value + lockword::CountUnit, std::memory_order_relaxed);
-      if (Stats)
-        Stats->recordAcquire(lockword::countOf(Value) + 2);
-      return true;
-    }
-    return false;
   }
 
   /// Bounded acquisition: like lock(), but gives up after
@@ -455,6 +455,22 @@ public:
     if (!lockword::isFat(Value))
       return nullptr;
     return Monitors.resolve(Value);
+  }
+
+  /// Pre-inflation hint: forces \p Obj onto its fat-lock representation
+  /// now, transferring the caller's current holds.  The caller must own
+  /// the monitor (asserted).  Idempotent once fat.  Use for objects known
+  /// to be contended soon — the inflation then happens off the contention
+  /// path — and for driving the inflation machinery directly
+  /// (bench_inflation_storm).  Not one of the paper's three inflation
+  /// causes, so it is deliberately not recorded in LockStats.
+  FatLock *inflate(Object *Obj, const ThreadContext &Thread) {
+    uint32_t Value = Obj->lockWord().load(std::memory_order_relaxed);
+    if (lockword::isFat(Value))
+      return Monitors.resolve(Value);
+    assert(lockword::isThinOwnedBy(Value, Thread.shiftedIndex()) &&
+           "inflate hint on a monitor the thread does not own");
+    return inflateOwned(Obj, Thread, Value, lockword::countOf(Value) + 1);
   }
 
   /// Out-of-line entry points for the paper's "FnCall" variant (§3.5):

@@ -5,8 +5,16 @@
 #include "core/LockWord.h"
 #include "support/FailPoint.h"
 #include "support/Fatal.h"
+#include "support/ThreadStripe.h"
+
+#include <algorithm>
+#include <cassert>
 
 using namespace thinlocks;
+
+static_assert((MonitorTable::NumAllocShards &
+               (MonitorTable::NumAllocShards - 1)) == 0,
+              "shard selection masks the stripe slot");
 
 MonitorTable::MonitorTable(uint32_t RequestedCapacity)
     : Capacity(RequestedCapacity) {
@@ -21,15 +29,24 @@ MonitorTable::MonitorTable(uint32_t RequestedCapacity)
   // as any other, and is pinned so the deflation extension can never
   // retire a monitor that an unknown number of objects share.
   std::lock_guard<std::mutex> Guard(Mutex);
-  Storage.push_back(std::make_unique<FatLock>());
-  Emergency = Storage.back().get();
+  Emergency = new FatLock();
   Emergency->pin();
   Segment *Seg = segmentFor(Capacity);
   (*Seg)[Capacity & (SegmentSize - 1)].store(Emergency,
                                              std::memory_order_release);
 }
 
-MonitorTable::~MonitorTable() = default;
+MonitorTable::~MonitorTable() {
+  // Monitors are owned by their table slots (including the emergency
+  // monitor, which lives at index Capacity like any other).
+  for (auto &Slot : Segments) {
+    Segment *Seg = Slot.load(std::memory_order_relaxed);
+    if (!Seg)
+      continue;
+    for (auto &Entry : *Seg)
+      delete Entry.load(std::memory_order_relaxed);
+  }
+}
 
 MonitorTable::Segment *MonitorTable::segmentFor(uint32_t Index) {
   uint32_t SegmentIndex = Index >> SegmentSizeLog2;
@@ -45,24 +62,89 @@ MonitorTable::Segment *MonitorTable::segmentFor(uint32_t Index) {
   return Seg;
 }
 
+uint32_t MonitorTable::publish(uint32_t Index) {
+  Segment *Seg =
+      Segments[Index >> SegmentSizeLog2].load(std::memory_order_acquire);
+  assert(Seg && "index handed out before its segment was created");
+  FatLock *Lock = new FatLock();
+  (*Seg)[Index & (SegmentSize - 1)].store(Lock, std::memory_order_release);
+  LiveCount.fetch_add(1, std::memory_order_relaxed);
+  return Index;
+}
+
 uint32_t MonitorTable::allocate() {
   if (TL_FAILPOINT(MonitorTableExhausted)) {
     ExhaustionEvents.fetch_add(1, std::memory_order_relaxed);
     return 0;
   }
-  std::lock_guard<std::mutex> Guard(Mutex);
-  if (NextIndex >= Capacity) {
-    ExhaustionEvents.fetch_add(1, std::memory_order_relaxed);
-    return 0;
+  AllocShard &Shard =
+      Shards[currentThreadStripe().slot() & (NumAllocShards - 1)];
+  for (;;) {
+    uint64_t Cursor = Shard.Cursor.load(std::memory_order_acquire);
+    uint32_t Next = static_cast<uint32_t>(Cursor);
+    uint32_t End = static_cast<uint32_t>(Cursor >> 32);
+    if (Next < End) {
+      // Claim Next by bumping the packed low half.  acquire on success
+      // pairs with the refiller's release store so the pre-created
+      // segment for this index is visible to publish().
+      if (Shard.Cursor.compare_exchange_weak(Cursor, Cursor + 1,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed))
+        return publish(Next);
+      continue;
+    }
+    uint32_t Index = refill(Shard);
+    if (Index == RetryTake)
+      continue;
+    if (Index == 0)
+      return 0;
+    return publish(Index);
   }
-  uint32_t Index = NextIndex++;
+}
 
-  Segment *Seg = segmentFor(Index);
-  Storage.push_back(std::make_unique<FatLock>());
-  FatLock *Lock = Storage.back().get();
-  (*Seg)[Index & (SegmentSize - 1)].store(Lock, std::memory_order_release);
-  LiveCount.fetch_add(1, std::memory_order_relaxed);
-  return Index;
+uint32_t MonitorTable::refill(AllocShard &Shard) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  // Another thread may have refilled this shard while we waited for the
+  // mutex; if so the lock-free take will succeed now.
+  uint64_t Cursor = Shard.Cursor.load(std::memory_order_relaxed);
+  if (static_cast<uint32_t>(Cursor) < static_cast<uint32_t>(Cursor >> 32))
+    return RetryTake;
+
+  if (NextIndex < Capacity) {
+    uint32_t Block = std::min(AllocBlockSize, Capacity - NextIndex);
+    uint32_t First = NextIndex;
+    NextIndex += Block;
+    // Create every segment the block spans *before* the cursor store:
+    // takers claim indices lock-free and must find their segment ready.
+    for (uint32_t Index = First >> SegmentSizeLog2,
+                  Last = (First + Block - 1) >> SegmentSizeLog2;
+         Index <= Last; ++Index)
+      segmentFor(Index << SegmentSizeLog2);
+    // Keep the first index for the caller; hand the rest to the shard.
+    Shard.Cursor.store(
+        (static_cast<uint64_t>(First + Block) << 32) | (First + 1),
+        std::memory_order_release);
+    return First;
+  }
+
+  // Central space is gone.  Unused remainders may still sit in other
+  // shards' cursors; drain those before declaring exhaustion so a block
+  // reservation never leaks indices past Capacity.
+  for (AllocShard &Other : Shards) {
+    for (;;) {
+      uint64_t C = Other.Cursor.load(std::memory_order_acquire);
+      uint32_t Next = static_cast<uint32_t>(C);
+      uint32_t End = static_cast<uint32_t>(C >> 32);
+      if (Next >= End)
+        break;
+      if (Other.Cursor.compare_exchange_weak(C, C + 1,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed))
+        return Next;
+    }
+  }
+  ExhaustionEvents.fetch_add(1, std::memory_order_relaxed);
+  return 0;
 }
 
 FatLock *MonitorTable::get(uint32_t Index) const {

@@ -34,9 +34,13 @@
 
 namespace thinlocks {
 
-/// Growable, chunked index -> FatLock* table.  Allocation takes a mutex;
-/// lookup is wait-free.  Index 0 is reserved (never allocated) so a zeroed
-/// lock word can never accidentally name a monitor.
+/// Growable, chunked index -> FatLock* table.  Lookup is wait-free.
+/// Allocation is *sharded*: threads draw indices from per-shard block
+/// caches with a CAS, and only block refills (one per AllocBlockSize
+/// allocations per shard) take the central mutex — inflation storms no
+/// longer serialize on a single lock.  Index 0 is reserved (never
+/// allocated) so a zeroed lock word can never accidentally name a
+/// monitor.
 class MonitorTable {
 public:
   /// Indices must fit the 23 bits available in an inflated lock word.
@@ -45,6 +49,13 @@ public:
   static constexpr uint32_t SegmentSize = 1u << SegmentSizeLog2;
   static constexpr uint32_t NumSegments =
       (MaxMonitorIndex + SegmentSize) / SegmentSize;
+  /// Allocation shards (power of two; threads map in by stripe slot).
+  static constexpr uint32_t NumAllocShards = 16;
+  /// Indices reserved from the central cursor per shard refill.  Refills
+  /// clamp to the remaining capacity, and exhaustion handling drains
+  /// every shard's remainder before reporting failure, so blocking never
+  /// costs usable indices.
+  static constexpr uint32_t AllocBlockSize = 64;
 
   /// \param Capacity highest index this table will use.  allocate() hands
   /// out 1 .. Capacity-1; index Capacity is the pre-allocated emergency
@@ -64,6 +75,13 @@ public:
   /// deflation extension a retired monitor's index is never reused (a
   /// stale fat word must keep resolving to the *retired* monitor so its
   /// holder learns to retry).
+  ///
+  /// Common case is lock-free: one CAS on the caller's shard cursor.
+  /// The central mutex is taken only to refill an empty shard.  A single
+  /// thread always sees consecutive indices (its shard's blocks are
+  /// reserved in order), and failure is exact: allocate() returns 0 only
+  /// after the central cursor *and* every shard remainder are drained,
+  /// counting one exhaustion event per failed call.
   uint32_t allocate();
 
   /// \returns the monitor for \p Index.  Wait-free.  A zero,
@@ -101,13 +119,36 @@ public:
 private:
   using Segment = std::array<std::atomic<FatLock *>, SegmentSize>;
 
+  /// A shard's cache of reserved indices, packed as (End << 32) | Next so
+  /// one CAS both claims an index and excludes other takers.  Next == End
+  /// means empty.  Padded: the whole point is that concurrent allocators
+  /// touch distinct cache lines.
+  struct alignas(64) AllocShard {
+    std::atomic<uint64_t> Cursor{0};
+  };
+
+  /// refill() result meaning "another thread refilled the shard while we
+  /// waited for the mutex — retry the lock-free take".
+  static constexpr uint32_t RetryTake = ~0u;
+
   /// Ensures the segment covering \p Index exists; Mutex must be held.
   Segment *segmentFor(uint32_t Index);
 
+  /// Takes the mutex and reserves a fresh block for \p Shard, returning
+  /// the block's first index for the caller.  Returns RetryTake if the
+  /// shard was refilled concurrently, or 0 (after counting an exhaustion
+  /// event) if the central cursor and every shard remainder are empty.
+  uint32_t refill(AllocShard &Shard);
+
+  /// Creates the FatLock for a claimed \p Index and makes it visible to
+  /// the wait-free readers.  Lock-free; the index's segment was created
+  /// by the refill that reserved its block.
+  uint32_t publish(uint32_t Index);
+
   mutable std::mutex Mutex;
   std::array<std::atomic<Segment *>, NumSegments> Segments;
-  std::vector<std::unique_ptr<FatLock>> Storage;
   std::vector<std::unique_ptr<Segment>> SegmentStorage;
+  std::array<AllocShard, NumAllocShards> Shards;
   uint32_t Capacity;
   FatLock *Emergency = nullptr;
   uint32_t NextIndex = 1;

@@ -4,6 +4,7 @@
 
 #include "support/FailPoint.h"
 #include "support/Fatal.h"
+#include "support/ThreadStripe.h"
 
 #include <cassert>
 
@@ -86,6 +87,12 @@ ThreadContext ThreadRegistry::attach(std::string Name, AttachError *Error) {
                                           std::memory_order_relaxed)) {
   }
 
+  // Publish the striped-counter identity for this thread.  attach()
+  // runs on the thread being attached (NativeId above is the caller's),
+  // and successive owners of a recycled index are ordered by Mutex, so
+  // an exclusive stripe really has one live writer.
+  setCurrentThreadStripe(Index);
+
   ThreadContext Ctx;
   Ctx.Registry = this;
   Ctx.Index = Index;
@@ -108,6 +115,7 @@ void ThreadRegistry::detach(ThreadContext &Ctx) {
   if (Info == nullptr)
     fatalError("ThreadRegistry::detach: double detach of thread index %u",
                Ctx.Index);
+  bool SelfDetach = Info->NativeId == std::this_thread::get_id();
   Info->BlockedOn.store(nullptr, std::memory_order_relaxed);
   Slots[Ctx.Index].store(nullptr, std::memory_order_release);
   if (Auditor && Auditor(Ctx.Index)) {
@@ -120,6 +128,15 @@ void ThreadRegistry::detach(ThreadContext &Ctx) {
   }
   LiveCount.fetch_sub(1, std::memory_order_relaxed);
   Ctx = ThreadContext();
+
+  if (SelfDetach) {
+    // Drop the detached index's stripe before the index can be recycled.
+    // ScopedThreadAttachment restores CurrentThreadContext *before*
+    // detaching, so for nested attachments this re-publishes the outer
+    // context's stripe; otherwise it reverts to the hashed fallback.
+    ThreadContext Outer = CurrentThreadContext;
+    setCurrentThreadStripe(Outer.isValid() ? Outer.Index : 0);
+  }
 }
 
 const ThreadInfo *ThreadRegistry::info(uint16_t Index) const {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
@@ -86,4 +88,79 @@ TEST(MonitorTable, ConcurrentAllocationYieldsUniqueIndices) {
   // Concurrent readers resolve every index.
   for (uint32_t Index : All)
     EXPECT_NE(Table.get(Index), nullptr);
+}
+
+TEST(MonitorTable, ConcurrentStressKeepsLiveCountExact) {
+  MonitorTable Table;
+  ThreadRegistry Registry;
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 2000;
+  std::vector<std::vector<uint32_t>> Indices(NumThreads);
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < NumThreads; ++T)
+    Workers.emplace_back([&Table, &Registry, &Indices, T] {
+      // Odd workers attach (exclusive stripes, per-index shards); even
+      // workers stay unattached (hashed fallback stripes) so both shard
+      // selection paths race each other.
+      std::unique_ptr<ScopedThreadAttachment> Attach;
+      if (T % 2)
+        Attach = std::make_unique<ScopedThreadAttachment>(Registry, "alloc");
+      for (int I = 0; I < PerThread; ++I)
+        Indices[T].push_back(Table.allocate());
+    });
+  for (auto &W : Workers)
+    W.join();
+  std::set<uint32_t> All;
+  for (auto &List : Indices)
+    for (uint32_t Index : List) {
+      ASSERT_NE(Index, 0u);
+      EXPECT_TRUE(All.insert(Index).second);
+      EXPECT_NE(Table.get(Index), nullptr);
+    }
+  EXPECT_EQ(All.size(), static_cast<size_t>(NumThreads) * PerThread);
+  EXPECT_EQ(Table.liveMonitorCount(),
+            static_cast<uint32_t>(NumThreads) * PerThread);
+  EXPECT_EQ(Table.exhaustionEvents(), 0u);
+}
+
+TEST(MonitorTable, ConcurrentExhaustionIsExactWithPartialBlocks) {
+  // Capacity chosen so the central cursor hands out one full block (64)
+  // and one partial block (35): exhaustion must drain both remainders —
+  // indices reserved to a shard but not yet handed out are never lost —
+  // and then count exactly one event per failed allocate().
+  constexpr uint32_t Capacity = 100;
+  MonitorTable Table(Capacity);
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 100; // 400 attempts for 99 usable indices.
+  std::vector<std::vector<uint32_t>> Indices(NumThreads);
+  std::atomic<uint64_t> Failures{0};
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < NumThreads; ++T)
+    Workers.emplace_back([&Table, &Indices, &Failures, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        uint32_t Index = Table.allocate();
+        if (Index)
+          Indices[T].push_back(Index);
+        else
+          Failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+  std::set<uint32_t> All;
+  for (auto &List : Indices)
+    for (uint32_t Index : List)
+      EXPECT_TRUE(All.insert(Index).second);
+  // Every usable index was handed out exactly once before any failure
+  // was reported.
+  EXPECT_EQ(All.size(), static_cast<size_t>(Capacity) - 1);
+  for (uint32_t I = 1; I < Capacity; ++I)
+    EXPECT_EQ(All.count(I), 1u) << "index " << I << " leaked";
+  EXPECT_EQ(Table.liveMonitorCount(), Capacity - 1);
+  EXPECT_EQ(Table.exhaustionEvents(), Failures.load());
+  EXPECT_EQ(Failures.load(),
+            static_cast<uint64_t>(NumThreads) * PerThread - (Capacity - 1));
+  // The emergency monitor is untouched by exhaustion accounting.
+  EXPECT_NE(Table.emergencyMonitor(), nullptr);
+  EXPECT_EQ(Table.emergencyIndex(), Capacity);
 }

@@ -6,10 +6,13 @@
 #include "support/SplitMix64.h"
 #include "support/StatsCounter.h"
 #include "support/TableFormatter.h"
+#include "support/ThreadStripe.h"
 #include "support/Timer.h"
+#include "threads/ThreadRegistry.h"
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <thread>
 
@@ -182,6 +185,69 @@ TEST(StatsCounter, ConcurrentIncrementsAllLand) {
   for (auto &W : Workers)
     W.join();
   EXPECT_EQ(C.value(), static_cast<uint64_t>(Threads) * PerThread);
+}
+
+TEST(StatsCounter, AttachedThreadsSumExactlyAcrossStripes) {
+  // Attached threads write exclusive (plain-store) stripes; the sum must
+  // still be exact because registry indices are unique among live
+  // threads.  Mix in unattached threads to race the hashed shared
+  // stripes against them.
+  StatsCounter C;
+  ThreadRegistry Registry;
+  constexpr int Threads = 8;
+  constexpr int PerThread = 10000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&C, &Registry, T] {
+      std::unique_ptr<ScopedThreadAttachment> Attach;
+      if (T % 2)
+        Attach = std::make_unique<ScopedThreadAttachment>(Registry, "inc");
+      for (int I = 0; I < PerThread; ++I)
+        C.increment();
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(Threads) * PerThread);
+}
+
+TEST(StatsCounter, LargeThreadIndicesShareStripesExactly) {
+  // Hold enough attachments live at once to push indices past the
+  // exclusive-stripe range; those land in the shared fetch-add region
+  // and must still count exactly.
+  StatsCounter C;
+  ThreadRegistry Registry;
+  constexpr uint32_t NumContexts = ThreadStripe::NumExclusive + 8;
+  std::vector<ThreadContext> Contexts;
+  for (uint32_t I = 0; I < NumContexts; ++I) {
+    Contexts.push_back(Registry.attach("wide"));
+    ASSERT_TRUE(Contexts.back().isValid());
+    C.increment(); // Recorded under the context just attached.
+  }
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(NumContexts));
+  for (auto It = Contexts.rbegin(); It != Contexts.rend(); ++It)
+    Registry.detach(*It);
+}
+
+TEST(StatsCounter, ResetZeroesEveryStripe) {
+  StatsCounter C;
+  ThreadRegistry Registry;
+  // Populate several distinct stripes: attached workers (exclusive
+  // slots) and an unattached worker (hashed shared slot).
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < 4; ++T)
+    Workers.emplace_back([&C, &Registry, T] {
+      std::unique_ptr<ScopedThreadAttachment> Attach;
+      if (T % 2)
+        Attach = std::make_unique<ScopedThreadAttachment>(Registry, "rst");
+      C.increment(100);
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(C.value(), 400u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+  C.increment(7);
+  EXPECT_EQ(C.value(), 7u);
 }
 
 //===----------------------------------------------------------------------===//

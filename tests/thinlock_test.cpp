@@ -397,6 +397,31 @@ TEST_F(ThinLockStatsTest, SummaryMentionsKeyCounters) {
   EXPECT_NE(Summary.find("first=100.0%"), std::string::npos);
 }
 
+TEST_F(ThinLockStatsTest, SnapshotIsCoherentWithAccessors) {
+  Object *A = TheHeap.allocate(*Class);
+  Locks.lock(A, Main);   // depth 1 (fast path)
+  Locks.lock(A, Main);   // depth 2
+  Locks.unlock(A, Main);
+  Locks.unlock(A, Main);
+
+  LockStats::Snapshot S = Stats.snapshot();
+  EXPECT_EQ(S.Acquisitions, Stats.totalAcquisitions());
+  EXPECT_EQ(S.Releases, Stats.totalReleases());
+  EXPECT_EQ(S.FastPath, Stats.fastPathAcquisitions());
+  EXPECT_EQ(S.FatPath, Stats.fatPathAcquisitions());
+  EXPECT_EQ(S.DepthBuckets[0], Stats.depthBucket(0));
+  EXPECT_EQ(S.DepthBuckets[1], Stats.depthBucket(1));
+  EXPECT_EQ(S.inflations(), Stats.inflations());
+  EXPECT_DOUBLE_EQ(S.depthFraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(S.depthFraction(1), 0.5);
+  // Acquisitions is derived from the buckets: every acquire lands in
+  // exactly one bucket, so the sum is the total.
+  uint64_t BucketSum = 0;
+  for (unsigned B = 0; B < LockStats::NumDepthBuckets; ++B)
+    BucketSum += S.DepthBuckets[B];
+  EXPECT_EQ(S.Acquisitions, BucketSum);
+}
+
 TEST_F(ThinLockStatsTest, NullStatsDisablesRecording) {
   ThinLockManager Bare(Monitors, nullptr);
   Object *Obj = TheHeap.allocate(*Class);
