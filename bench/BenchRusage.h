@@ -1,0 +1,68 @@
+//===- bench/BenchRusage.h - CPU-time counters for benchmarks --*- C++ -*-===//
+///
+/// \file
+/// Per-benchmark CPU time (rusage user+system) reported next to wall
+/// time.  Wall time alone cannot distinguish a blocking protocol that
+/// sleeps from one that burns the quantum spinning: a condvar broadcast
+/// that wakes ten threads to grant one costs little wall time on a busy
+/// machine but shows up directly as CPU time.  The committed BENCH JSONs
+/// therefore carry a `cpu_ns_per_op` counter wherever the waiting
+/// substrate is on the measured path.
+///
+/// Usage: construct a ScopedCpuSample immediately before the timed loop
+/// and call report() after it:
+///
+///   ScopedCpuSample Cpu;
+///   for (auto _ : State) { ... }
+///   Cpu.report(State);
+///
+/// Each benchmark thread samples its *own* CPU clock (RUSAGE_THREAD);
+/// google-benchmark sums the counter across threads and kAvgIterations
+/// divides by total iterations, so the reported value is aggregate CPU
+/// nanoseconds per operation across the whole thread group.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_BENCH_BENCHRUSAGE_H
+#define THINLOCKS_BENCH_BENCHRUSAGE_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <sys/resource.h>
+
+namespace thinlocks {
+
+/// \returns the calling thread's consumed CPU time (user + system) in
+/// nanoseconds.  Falls back to whole-process time where RUSAGE_THREAD is
+/// unavailable — then only single-threaded benches report meaningfully.
+inline uint64_t threadCpuNanos() {
+  rusage Usage;
+#if defined(RUSAGE_THREAD)
+  getrusage(RUSAGE_THREAD, &Usage);
+#else
+  getrusage(RUSAGE_SELF, &Usage);
+#endif
+  auto ToNanos = [](const timeval &Tv) {
+    return static_cast<uint64_t>(Tv.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(Tv.tv_usec) * 1000ull;
+  };
+  return ToNanos(Usage.ru_utime) + ToNanos(Usage.ru_stime);
+}
+
+/// Samples the thread CPU clock at construction; report() emits the
+/// delta as the `cpu_ns_per_op` benchmark counter.
+class ScopedCpuSample {
+  uint64_t StartNanos = threadCpuNanos();
+
+public:
+  void report(benchmark::State &State) {
+    uint64_t Delta = threadCpuNanos() - StartNanos;
+    State.counters["cpu_ns_per_op"] = benchmark::Counter(
+        static_cast<double>(Delta), benchmark::Counter::kAvgIterations);
+  }
+};
+
+} // namespace thinlocks
+
+#endif // THINLOCKS_BENCH_BENCHRUSAGE_H

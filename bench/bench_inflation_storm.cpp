@@ -21,6 +21,8 @@
 #include "heap/Heap.h"
 #include "threads/ThreadRegistry.h"
 
+#include "BenchRusage.h"
+
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -75,12 +77,14 @@ void Storm_Inflate(benchmark::State &State) {
   for (auto &Obj : Objects)
     Obj = PrivateHeap.allocate(Class);
   size_t Next = 0;
+  ScopedCpuSample Cpu;
   for (auto _ : State) {
     Object *Obj = Objects[Next++];
     E.Locks->lock(Obj, Attach.context());
     benchmark::DoNotOptimize(E.Locks->inflate(Obj, Attach.context()));
     E.Locks->unlock(Obj, Attach.context());
   }
+  Cpu.report(State);
   State.SetItemsProcessed(State.iterations());
 }
 
@@ -91,8 +95,10 @@ void Storm_AllocateOnly(benchmark::State &State) {
   if (State.thread_index() == 0)
     E.reset();
   ScopedThreadAttachment Attach(E.Registry, "storm-alloc");
+  ScopedCpuSample Cpu;
   for (auto _ : State)
     benchmark::DoNotOptimize(E.Monitors->allocate());
+  Cpu.report(State);
   State.SetItemsProcessed(State.iterations());
 }
 

@@ -20,9 +20,13 @@ case "$BUILD_DIR" in /*) ;; *) BUILD_DIR="$ROOT/$BUILD_DIR" ;; esac
 
 # Suites per trajectory file.  bench_fastpath is the per-operation cost
 # ledger (paper §2/§3.3); bench_inflation_storm is the multi-thread
-# inflation/allocation sweep behind the hot-path-scalability work.
+# inflation/allocation sweep behind the hot-path-scalability work;
+# bench_wakeup is the waiting-substrate suite (wake-handoff latency and
+# notifyAll storms, with std::mutex/condvar reference rows in the same
+# JSON).  The contention suites also emit a cpu_ns_per_op counter
+# (bench/BenchRusage.h) next to wall time.
 FASTPATH_SUITES=(bench_fastpath)
-CONTENTION_SUITES=(bench_inflation_storm)
+CONTENTION_SUITES=(bench_inflation_storm bench_wakeup)
 
 for Suite in "${FASTPATH_SUITES[@]}" "${CONTENTION_SUITES[@]}"; do
   if [ ! -x "$BUILD_DIR/bench/$Suite" ]; then

@@ -26,6 +26,12 @@ LockStats::Snapshot LockStats::snapshot() const {
   S.EmergencyInflations = EmergencyInflations.value();
   S.TimedOutAcquisitions = TimedOutAcquisitions.value();
   S.DeadlocksDetected = DeadlocksDetected.value();
+  for (unsigned Bucket = 0; Bucket < NumWakeBuckets; ++Bucket) {
+    S.WakeBuckets[Bucket] = WakeBuckets[Bucket].value();
+    S.Wakes += S.WakeBuckets[Bucket];
+  }
+  S.WakeNanosTotal = WakeNanosTotal.value();
+  S.WakeNanosMax = WakeNanosMax.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -54,6 +60,10 @@ void LockStats::reset() {
   DeadlocksDetected.reset();
   for (auto &Bucket : DepthBuckets)
     Bucket.reset();
+  for (auto &Bucket : WakeBuckets)
+    Bucket.reset();
+  WakeNanosTotal.reset();
+  WakeNanosMax.store(0, std::memory_order_relaxed);
 }
 
 std::string LockStats::summary() const {
@@ -65,7 +75,8 @@ std::string LockStats::summary() const {
       "inflations: contention=%llu overflow=%llu wait=%llu "
       "emergency=%llu deflations=%llu\n"
       "degraded: timeouts=%llu deadlocks=%llu\n"
-      "depth: first=%.1f%% second=%.1f%% third=%.1f%% fourth+=%.1f%%\n",
+      "depth: first=%.1f%% second=%.1f%% third=%.1f%% fourth+=%.1f%%\n"
+      "wake: count=%llu avg=%.1fus max=%.1fus\n",
       static_cast<unsigned long long>(S.Acquisitions),
       static_cast<unsigned long long>(S.Releases),
       static_cast<unsigned long long>(S.FastPath),
@@ -79,6 +90,9 @@ std::string LockStats::summary() const {
       static_cast<unsigned long long>(S.TimedOutAcquisitions),
       static_cast<unsigned long long>(S.DeadlocksDetected),
       S.depthFraction(0) * 100.0, S.depthFraction(1) * 100.0,
-      S.depthFraction(2) * 100.0, S.depthFraction(3) * 100.0);
+      S.depthFraction(2) * 100.0, S.depthFraction(3) * 100.0,
+      static_cast<unsigned long long>(S.Wakes),
+      static_cast<double>(S.avgWakeNanos()) / 1000.0,
+      static_cast<double>(S.WakeNanosMax) / 1000.0);
   return Buffer;
 }

@@ -19,9 +19,11 @@
 #ifndef THINLOCKS_CORE_LOCKSTATS_H
 #define THINLOCKS_CORE_LOCKSTATS_H
 
+#include "support/MathExtras.h"
 #include "support/StatsCounter.h"
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -33,6 +35,20 @@ public:
   /// Figure 3 buckets: index 0 = first lock (object was unlocked),
   /// 1 = second (nested once), 2 = third, 3 = fourth or deeper.
   static constexpr unsigned NumDepthBuckets = 4;
+
+  /// Time-to-wake histogram buckets (power-of-two microseconds): bucket
+  /// 0 is < 1µs, bucket B (1..8) is [2^(B-1), 2^B) µs, and the last
+  /// bucket collects everything ≥ 256µs.
+  static constexpr unsigned NumWakeBuckets = 10;
+
+  /// \returns the histogram bucket for a wake latency of \p Nanos.
+  static constexpr unsigned wakeBucketOf(uint64_t Nanos) {
+    uint64_t Micros = Nanos / 1000;
+    if (Micros == 0)
+      return 0;
+    unsigned Bucket = log2Floor(Micros) + 1;
+    return Bucket >= NumWakeBuckets ? NumWakeBuckets - 1 : Bucket;
+  }
 
   /// A coherent point-in-time copy of every counter.  Each field is read
   /// once from the live (striped) counters, so derived views — summary
@@ -52,6 +68,17 @@ public:
     uint64_t TimedOutAcquisitions = 0;
     uint64_t DeadlocksDetected = 0;
     std::array<uint64_t, NumDepthBuckets> DepthBuckets{};
+    /// Wake-handoff latency distribution (see NumWakeBuckets).
+    std::array<uint64_t, NumWakeBuckets> WakeBuckets{};
+    uint64_t Wakes = 0;
+    uint64_t WakeNanosTotal = 0;
+    uint64_t WakeNanosMax = 0;
+
+    /// \returns the mean unpark-to-resume latency in nanoseconds (0 when
+    /// no wakes were recorded).
+    uint64_t avgWakeNanos() const {
+      return Wakes == 0 ? 0 : WakeNanosTotal / Wakes;
+    }
 
     uint64_t inflations() const {
       return ContentionInflations + OverflowInflations + WaitInflations;
@@ -91,6 +118,18 @@ public:
   /// The owner-graph walker confirmed a waits-for cycle.
   void recordDeadlock() { DeadlocksDetected.increment(); }
 
+  /// Records one wake handoff that took \p Nanos from unpark to resume
+  /// (measured by the woken thread's Parker; fed in by FatLock).
+  void recordWakeLatency(uint64_t Nanos) {
+    WakeBuckets[wakeBucketOf(Nanos)].increment();
+    WakeNanosTotal.increment(Nanos);
+    uint64_t Max = WakeNanosMax.load(std::memory_order_relaxed);
+    while (Nanos > Max &&
+           !WakeNanosMax.compare_exchange_weak(Max, Nanos,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+
   /// Reads every counter once into a coherent copy.
   Snapshot snapshot() const;
 
@@ -118,6 +157,18 @@ public:
     return TimedOutAcquisitions.value();
   }
   uint64_t deadlocksDetected() const { return DeadlocksDetected.value(); }
+
+  /// \returns how many wake handoffs have been recorded.
+  uint64_t wakeCount() const {
+    uint64_t Sum = 0;
+    for (const auto &Bucket : WakeBuckets)
+      Sum += Bucket.value();
+    return Sum;
+  }
+  /// \returns the wake count in histogram bucket \p Bucket (0..9).
+  uint64_t wakeBucket(unsigned Bucket) const {
+    return WakeBuckets[Bucket].value();
+  }
 
   /// \returns the acquisition count in Figure 3 bucket \p Bucket (0..3).
   uint64_t depthBucket(unsigned Bucket) const {
@@ -149,6 +200,9 @@ private:
   StatsCounter TimedOutAcquisitions;
   StatsCounter DeadlocksDetected;
   std::array<StatsCounter, NumDepthBuckets> DepthBuckets;
+  std::array<StatsCounter, NumWakeBuckets> WakeBuckets;
+  StatsCounter WakeNanosTotal;
+  std::atomic<uint64_t> WakeNanosMax{0};
 };
 
 } // namespace thinlocks

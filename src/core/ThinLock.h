@@ -47,6 +47,7 @@
 #include "core/Variants.h"
 #include "fatlock/MonitorTable.h"
 #include "heap/Object.h"
+#include "park/ParkingLot.h"
 #include "support/Compiler.h"
 #include "support/FailPoint.h"
 #include "support/Fatal.h"
@@ -89,7 +90,9 @@ enum class TimedLockStatus : uint8_t {
 /// see SpinPolicy) and the deadlock watchdog layered on top of it.
 struct ContentionOptions {
   /// The spin/yield/park ladder used while contending on a thin word.
-  SpinPolicy Spin;
+  /// Every slow path (lockSlow, tryLock's fat-Retired retry, tryLockFor)
+  /// escalates on this one policy.
+  SpinPolicy Spin = DefaultSpinPolicy;
   /// Run owner-graph cycle walks from blocked lock() calls.  (tryLockFor
   /// always checks at its deadline regardless of this flag.)
   bool DeadlockWatchdog = true;
@@ -220,6 +223,9 @@ public:
         // to learn they should retry.
         Word.store(lockword::headerBitsOf(Value),
                    std::memory_order_release);
+        // Publish-and-wake: threads that saw the stale fat word are
+        // lot-parked on the object waiting for this store.
+        ParkingLot::global().unparkAll(Obj);
         if (Stats) {
           Stats->recordRelease();
           Stats->recordDeflation();
@@ -265,7 +271,7 @@ public:
           // escalation ladder (pause -> yield -> park) until the
           // deflater publishes the restored header: a bare yield loop
           // burns CPU against a descheduled deflater and never parks.
-          Spinner.spinOnce();
+          backoffOnWord(Obj, Thread, Spinner, Value);
           continue;
         }
       }
@@ -333,7 +339,7 @@ public:
           }
           return TimedLockStatus::Acquired;
         case FatLock::TimedResult::Retired:
-          Spinner.spinOnce();
+          backoffOnWord(Obj, Thread, Spinner, Value, Deadline);
           continue;
         case FatLock::TimedResult::TimedOut:
           return deadlineExpired(Obj, Thread, Report);
@@ -382,7 +388,7 @@ public:
       SawContention = true;
       if (std::chrono::steady_clock::now() >= Deadline)
         return deadlineExpired(Obj, Thread, Report);
-      Spinner.spinOnce();
+      backoffOnWord(Obj, Thread, Spinner, Value, Deadline);
     }
   }
 
@@ -524,6 +530,35 @@ private:
     }
   }
 
+  /// One escalation-ladder step while waiting for \p Obj's lock word to
+  /// move off \p ObservedWord.  The pause/yield rungs run in place; the
+  /// park rung sleeps in the ParkingLot keyed by the object, so whoever
+  /// changes the word (an inflating acquirer publishing the fat word, a
+  /// deflater restoring the thin header) can publish-and-wake instead of
+  /// the waiter blindly sleeping out its quantum.  The "still worth
+  /// sleeping" check runs under the bucket lock: if the word already
+  /// changed we never sleep.  \p Clamp bounds the park for callers with
+  /// their own deadline.
+  void backoffOnWord(Object *Obj, const ThreadContext &Thread,
+                     SpinWait &Spinner, uint32_t ObservedWord,
+                     std::chrono::steady_clock::time_point Clamp =
+                         std::chrono::steady_clock::time_point::max()) {
+    uint64_t ParkNanos = Spinner.nextRound();
+    if (ParkNanos == 0)
+      return;
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::nanoseconds(ParkNanos);
+    if (Deadline > Clamp)
+      Deadline = Clamp;
+    std::atomic<uint32_t> &Word = Obj->lockWord();
+    ParkingLot::global().parkUntil(
+        Obj, *Thread.parker(),
+        [&] {
+          return Word.load(std::memory_order_relaxed) == ObservedWord;
+        },
+        Deadline);
+  }
+
   /// One watchdog tick from a blocked lock(): walk the owner graph; on a
   /// double-confirmed cycle either terminate with the report (the
   /// default — a deadlocked thread never recovers on its own) or record
@@ -575,7 +610,7 @@ private:
           FatLock::TimedResult Result =
               Fat->lockIfLiveFor(Thread, Options.WatchdogNanos);
           if (Result == FatLock::TimedResult::Retired) {
-            Spinner.spinOnce();
+            backoffOnWord(Obj, Thread, Spinner, Value);
             continue;
           }
           if (Result == FatLock::TimedResult::TimedOut) {
@@ -585,7 +620,7 @@ private:
         } else if (TL_UNLIKELY(!Fat->lockIfLive(Thread))) {
           // Monitor retired by deflation; back off briefly (the
           // deflater has yet to store the fresh thin word), re-read.
-          Spinner.spinOnce();
+          backoffOnWord(Obj, Thread, Spinner, Value);
           continue;
         }
         Policy::afterAcquireFence();
@@ -638,7 +673,11 @@ private:
       }
 
       // Thin and owned by another thread: spin with backoff (§2.3.4).
-      Spinner.spinOnce();
+      // The ladder's park rung waits in the ParkingLot, so the moment
+      // the contended-for owner inflates and publishes the fat word we
+      // are woken to queue on the monitor instead of finishing a blind
+      // sleep.
+      backoffOnWord(Obj, Thread, Spinner, Value);
       if (TL_UNLIKELY(Options.DeadlockWatchdog && Spinner.isParking() &&
                       Spinner.totalParks() - ParksAtLastCheck >=
                           Options.WatchdogParkPeriod)) {
@@ -678,6 +717,8 @@ private:
       Fat = Monitors.get(Index);
       Fat->lockWithCount(Thread, Holds);
     }
+    // Route the monitor's wake-handoff latency samples into our stats.
+    Fat->setStatsSink(Stats);
     if (TL_FAILPOINT(ThinLockInflateRace)) {
       // Widen the inflation window: the fat lock is held but the word is
       // still thin, so contenders keep spinning on the thin word and
@@ -687,6 +728,9 @@ private:
     uint32_t HeaderBits = lockword::headerBitsOf(CurrentWord);
     Obj->lockWord().store(lockword::makeFat(Index, HeaderBits),
                           std::memory_order_release);
+    // Publish-and-wake (§2.3.4 hand-off): contenders lot-parked on the
+    // thin word learn of the fat lock now, not at their next deadline.
+    ParkingLot::global().unparkAll(Obj);
     return Fat;
   }
 

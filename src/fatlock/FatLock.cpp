@@ -2,41 +2,70 @@
 
 #include "fatlock/FatLock.h"
 
-#include <algorithm>
+#include "core/LockStats.h"
+#include "park/Parker.h"
+
 #include <cassert>
 #include <chrono>
 
 using namespace thinlocks;
 
-void FatLock::skipAbandonedTickets() {
-  // Linear scan is fine: abandonments are timeout events, so the vector
-  // is empty in any healthy schedule.
-  bool Advanced = true;
-  while (Advanced && !AbandonedTickets.empty()) {
-    Advanced = false;
-    for (size_t I = 0; I < AbandonedTickets.size(); ++I) {
-      if (AbandonedTickets[I] == ServingTicket) {
-        AbandonedTickets.erase(AbandonedTickets.begin() +
-                               static_cast<ptrdiff_t>(I));
-        ++ServingTicket;
-        Advanced = true;
-        break;
-      }
-    }
+void FatLock::pushEntry(EntryNode *Node) {
+  (EntryTail ? EntryTail->Next : EntryHead) = Node;
+  EntryTail = Node;
+  ++EntryLen;
+}
+
+void FatLock::removeEntry(EntryNode *Node) {
+  EntryNode *Prev = nullptr;
+  for (EntryNode *Cur = EntryHead; Cur; Prev = Cur, Cur = Cur->Next) {
+    if (Cur != Node)
+      continue;
+    (Prev ? Prev->Next : EntryHead) = Cur->Next;
+    if (EntryTail == Cur)
+      EntryTail = Prev;
+    Cur->Next = nullptr;
+    --EntryLen;
+    return;
   }
+  assert(false && "removeEntry: node not queued");
+}
+
+Parker *FatLock::entryHandoffTarget() const {
+  return EntryHead ? EntryHead->Pk : nullptr;
+}
+
+void FatLock::recordWakeLatency(const Parker *Pk) {
+  if (LockStats *Stats = StatsSink.load(std::memory_order_relaxed))
+    if (uint64_t Nanos = Pk->lastBlockedWakeNanos())
+      Stats->recordWakeLatency(Nanos);
+}
+
+void FatLock::grantTo(EntryNode *Node, uint16_t Index) {
+  assert(claimable(Node) && "granting out of FIFO order");
+  removeEntry(Node);
+  Owner = Index;
+  recordWakeLatency(Node->Pk);
 }
 
 void FatLock::acquireSlow(std::unique_lock<std::mutex> &Guard,
-                          uint16_t Index) {
-  uint64_t Ticket = NextTicket++;
-  if (Owner != 0 || ServingTicket != Ticket)
-    ++Counters.ContendedAcquisitions;
-  EntryCv.wait(Guard, [&] {
-    skipAbandonedTickets();
-    return Owner == 0 && ServingTicket == Ticket;
-  });
-  Owner = Index;
-  ++ServingTicket;
+                          const ThreadContext &Thread) {
+  if (Owner == 0 && EntryHead == nullptr) {
+    Owner = Thread.index();
+    return;
+  }
+  ++Counters.ContendedAcquisitions;
+  EntryNode Node;
+  Node.Pk = Thread.parker();
+  pushEntry(&Node);
+  while (!claimable(&Node)) {
+    // Park outside the mutex; a releaser that hands off in this window
+    // leaves a sticky token, so the park below returns immediately.
+    Guard.unlock();
+    Node.Pk->park();
+    Guard.lock();
+  }
+  grantTo(&Node, Thread.index());
 }
 
 void FatLock::lock(const ThreadContext &Thread) {
@@ -48,7 +77,7 @@ void FatLock::lock(const ThreadContext &Thread) {
     ++Hold;
     return;
   }
-  acquireSlow(Guard, Thread.index());
+  acquireSlow(Guard, Thread);
   Hold = 1;
 }
 
@@ -62,9 +91,9 @@ bool FatLock::lockIfLive(const ThreadContext &Thread) {
     ++Hold;
     return true;
   }
-  // Retirement requires an empty entry queue, so taking a ticket below
+  // Retirement requires an empty entry queue, so enqueueing below
   // guarantees the monitor stays live until we acquire it.
-  acquireSlow(Guard, Thread.index());
+  acquireSlow(Guard, Thread);
   Hold = 1;
   return true;
 }
@@ -82,45 +111,49 @@ FatLock::TimedResult FatLock::lockIfLiveFor(const ThreadContext &Thread,
   }
   if (TimeoutNanos < 0) {
     ++Counters.Acquisitions;
-    acquireSlow(Guard, Thread.index());
+    acquireSlow(Guard, Thread);
     Hold = 1;
     return TimedResult::Acquired;
   }
-  skipAbandonedTickets();
-  if (Owner == 0 && ServingTicket == NextTicket) {
-    // Uncontended: acquire without the timed machinery (wait_for reads
-    // the clock up front even when the predicate is already true, which
-    // would tax every post-inflation acquisition).
+  if (Owner == 0 && EntryHead == nullptr) {
+    // Uncontended: acquire without reading the clock (computing the
+    // deadline up front would tax every post-inflation acquisition).
     ++Counters.Acquisitions;
-    ++NextTicket;
-    ++ServingTicket;
     Owner = Thread.index();
     Hold = 1;
     return TimedResult::Acquired;
   }
-  // As in lockIfLive: holding a ticket blocks retirement, so the monitor
-  // stays live until we either acquire or abandon.
-  uint64_t Ticket = NextTicket++;
-  if (Owner != 0 || ServingTicket != Ticket)
-    ++Counters.ContendedAcquisitions;
-  bool Served =
-      EntryCv.wait_for(Guard, std::chrono::nanoseconds(TimeoutNanos), [&] {
-        skipAbandonedTickets();
-        return Owner == 0 && ServingTicket == Ticket;
-      });
-  if (!Served) {
-    ++Counters.Timeouts;
-    // Abandon the ticket so later entrants are not stranded behind a
-    // thread that gave up; whoever next touches the FIFO skips it.
-    AbandonedTickets.push_back(Ticket);
-    EntryCv.notify_all();
-    return TimedResult::TimedOut;
+  // As in lockIfLive: being queued blocks retirement, so the monitor
+  // stays live until we either acquire or dequeue ourselves.
+  ++Counters.ContendedAcquisitions;
+  EntryNode Node;
+  Node.Pk = Thread.parker();
+  pushEntry(&Node);
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::nanoseconds(TimeoutNanos);
+  for (;;) {
+    if (claimable(&Node)) {
+      ++Counters.Acquisitions;
+      grantTo(&Node, Thread.index());
+      Hold = 1;
+      return TimedResult::Acquired;
+    }
+    if (std::chrono::steady_clock::now() >= Deadline) {
+      ++Counters.Timeouts;
+      removeEntry(&Node);
+      // If the monitor is free we may have just consumed (or be about
+      // to consume) the releaser's handoff; pass it to the new head so
+      // the wake is not lost with our departure.
+      Parker *Next = Owner == 0 ? entryHandoffTarget() : nullptr;
+      Guard.unlock();
+      if (Next)
+        Next->unpark();
+      return TimedResult::TimedOut;
+    }
+    Guard.unlock();
+    Node.Pk->parkUntil(Deadline);
+    Guard.lock();
   }
-  ++Counters.Acquisitions;
-  Owner = Thread.index();
-  ++ServingTicket;
-  Hold = 1;
-  return TimedResult::Acquired;
 }
 
 FatLock::ReleaseResult
@@ -129,22 +162,25 @@ FatLock::unlockAndTryRetire(const ThreadContext &Thread) {
   if (Owner != Thread.index())
     return ReleaseResult::NotOwner;
   assert(Hold > 0 && "owner with zero hold count");
-  skipAbandonedTickets();
-  if (Hold == 1 && !Pinned && ServingTicket == NextTicket &&
-      ThreadsInWait == 0) {
-    // Fully quiescent: nobody is queued (tickets drained) and nobody is
-    // waiting.  Retire instead of releasing; late arrivals that already
-    // resolved this monitor bounce out of lockIfLive() and re-read the
-    // object's lock word.
+  if (Hold == 1 && !Pinned && EntryHead == nullptr && ThreadsInWait == 0) {
+    // Fully quiescent: nobody is queued and nobody is waiting.  Retire
+    // instead of releasing; late arrivals that already resolved this
+    // monitor bounce out of lockIfLive() and re-read the object's lock
+    // word.
     Hold = 0;
     Owner = 0;
     Retired = true;
     return ReleaseResult::RetiredNow;
   }
+  Parker *Next = nullptr;
   if (--Hold == 0) {
     Owner = 0;
-    EntryCv.notify_all();
+    Next = entryHandoffTarget();
   }
+  // Unpark after dropping the mutex: the wakee immediately relocks it.
+  Guard.unlock();
+  if (Next)
+    Next->unpark();
   return ReleaseResult::Released;
 }
 
@@ -170,12 +206,11 @@ FatLock::TryResult FatLock::tryLockStatus(const ThreadContext &Thread) {
     ++Hold;
     return TryResult::Acquired;
   }
-  skipAbandonedTickets();
-  if (Owner != 0 || ServingTicket != NextTicket)
+  // A free monitor with a non-empty queue belongs to the queue head;
+  // barging past it would break FIFO entry.
+  if (Owner != 0 || EntryHead != nullptr)
     return TryResult::Busy;
   ++Counters.Acquisitions;
-  ++NextTicket;
-  ++ServingTicket;
   Owner = Thread.index();
   Hold = 1;
   return TryResult::Acquired;
@@ -185,11 +220,9 @@ void FatLock::lockWithCount(const ThreadContext &Thread, uint32_t Count) {
   assert(Thread.isValid() && "locking with an unattached thread");
   assert(Count > 0 && "inflation transfers at least one hold");
   std::unique_lock<std::mutex> Guard(Mutex);
-  assert(Owner == 0 && ServingTicket == NextTicket &&
+  assert(Owner == 0 && EntryHead == nullptr &&
          "inflation target must be a fresh, unpublished monitor");
   ++Counters.Acquisitions;
-  ++NextTicket;
-  ++ServingTicket;
   Owner = Thread.index();
   Hold = Count;
 }
@@ -206,7 +239,7 @@ void FatLock::lockMergingCount(const ThreadContext &Thread, uint32_t Count) {
     Hold += Count;
     return;
   }
-  acquireSlow(Guard, Thread.index());
+  acquireSlow(Guard, Thread);
   Hold = Count;
 }
 
@@ -230,19 +263,31 @@ bool FatLock::unlockChecked(const ThreadContext &Thread) {
   if (Owner != Thread.index())
     return false;
   assert(Hold > 0 && "owner with zero hold count");
+  Parker *Next = nullptr;
   if (--Hold == 0) {
     Owner = 0;
-    // FIFO handoff: only the serving ticket's thread can proceed, but we
-    // must wake everyone so it finds out.
-    EntryCv.notify_all();
+    // Direct FIFO handoff: wake exactly the head of the entry queue; it
+    // has the exclusive claim on the free monitor.
+    Next = entryHandoffTarget();
   }
+  Guard.unlock();
+  if (Next)
+    Next->unpark();
   return true;
 }
 
 void FatLock::removeWaiter(WaitNode *Node) {
-  auto It = std::find(WaitSet.begin(), WaitSet.end(), Node);
-  if (It != WaitSet.end())
-    WaitSet.erase(It);
+  WaitNode *Prev = nullptr;
+  for (WaitNode *Cur = WaitHead; Cur; Prev = Cur, Cur = Cur->Next) {
+    if (Cur != Node)
+      continue;
+    (Prev ? Prev->Next : WaitHead) = Cur->Next;
+    if (WaitTail == Cur)
+      WaitTail = Prev;
+    Cur->Next = nullptr;
+    --WaitLen;
+    return;
+  }
 }
 
 FatLock::WaitResult FatLock::wait(const ThreadContext &Thread,
@@ -251,35 +296,74 @@ FatLock::WaitResult FatLock::wait(const ThreadContext &Thread,
   assert(Owner == Thread.index() && "wait by non-owner");
   ++Counters.Waits;
   // From here until reacquisition completes we are a user the
-  // quiescence check must see, even while absent from WaitSet and the
-  // ticket queue (the notify -> re-queue window).
+  // quiescence check must see, even while absent from the wait set and
+  // the entry queue (the notify -> re-queue window).
   ++ThreadsInWait;
 
   WaitNode Node;
-  WaitSet.push_back(&Node);
+  Node.Entry.Pk = Thread.parker();
+  (WaitTail ? WaitTail->Next : WaitHead) = &Node;
+  WaitTail = &Node;
+  ++WaitLen;
   uint32_t SavedHold = Hold;
 
-  // Release the monitor completely (Java semantics: all holds at once).
+  // Release the monitor completely (Java semantics: all holds at once)
+  // and hand it to the entry-queue head.
   Owner = 0;
   Hold = 0;
-  EntryCv.notify_all();
+  Parker *Next = entryHandoffTarget();
 
-  if (TimeoutNanos < 0) {
-    Node.Cv.wait(Guard, [&] { return Node.Notified; });
-  } else {
-    bool InTime = Node.Cv.wait_for(Guard,
-                                   std::chrono::nanoseconds(TimeoutNanos),
-                                   [&] { return Node.Notified; });
-    if (!InTime) {
+  bool HasDeadline = TimeoutNanos >= 0;
+  auto Deadline = std::chrono::steady_clock::time_point();
+  if (HasDeadline)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::nanoseconds(TimeoutNanos);
+  // Two-phase sleep on one park site.  Phase 1: in the wait set, parked
+  // until notified (morphed onto the entry queue) or timed out.  Phase 2:
+  // morphed, parked until the handoff that makes us claimable — the
+  // deadline no longer applies, reacquisition is unbounded like any
+  // lock().  Only a timeout leaves the loop unacquired.
+  bool WasNotified = false;
+  bool Granted = false;
+  bool CountedContention = false;
+  Parker::WakeReason Reason = Parker::WakeReason::Spurious;
+  for (;;) {
+    if (Node.Notified) {
+      WasNotified = true;
+      if (claimable(&Node.Entry)) {
+        ++Counters.Acquisitions;
+        grantTo(&Node.Entry, Thread.index());
+        Granted = true;
+        break;
+      }
+      if (!CountedContention) {
+        ++Counters.ContendedAcquisitions;
+        CountedContention = true;
+      }
+    } else if (HasDeadline && (Reason == Parker::WakeReason::TimedOut ||
+                               std::chrono::steady_clock::now() >= Deadline)) {
       removeWaiter(&Node);
       ++Counters.Timeouts;
+      break;
     }
+    bool Morphed = Node.Notified;
+    Guard.unlock();
+    if (Next) {
+      Next->unpark();
+      Next = nullptr;
+    }
+    // A wake racing this window leaves a sticky token; stale tokens and
+    // spurious wakes just re-run the check.
+    Reason = (HasDeadline && !Morphed) ? Node.Entry.Pk->parkUntil(Deadline)
+                                       : Node.Entry.Pk->park();
+    Guard.lock();
   }
-  bool WasNotified = Node.Notified;
-
-  // Reacquire through the FIFO entry queue, restoring the hold count.
-  ++Counters.Acquisitions;
-  acquireSlow(Guard, Thread.index());
+  if (!Granted) {
+    // Timed out in the wait set: reacquire through the entry queue like
+    // any other entrant.
+    ++Counters.Acquisitions;
+    acquireSlow(Guard, Thread);
+  }
   Hold = SavedHold;
   assert(ThreadsInWait > 0 && "wait bookkeeping out of balance");
   --ThreadsInWait;
@@ -287,29 +371,41 @@ FatLock::WaitResult FatLock::wait(const ThreadContext &Thread,
 }
 
 bool FatLock::notify(const ThreadContext &Thread) {
-  std::unique_lock<std::mutex> Guard(Mutex);
+  std::lock_guard<std::mutex> Guard(Mutex);
   assert(Owner == Thread.index() && "notify by non-owner");
   ++Counters.Notifies;
-  if (WaitSet.empty())
+  if (!WaitHead)
     return false;
-  WaitNode *Node = WaitSet.front();
-  WaitSet.erase(WaitSet.begin());
+  // Wait morphing: move the longest waiter from the wait set to the
+  // entry-queue tail without waking it.  The notifier still holds the
+  // monitor, so the waiter could not acquire anyway; it sleeps through
+  // until the handoff that grants it, costing one block instead of two.
+  WaitNode *Node = WaitHead;
+  removeWaiter(Node);
   Node->Notified = true;
-  Node->Cv.notify_one();
+  pushEntry(&Node->Entry);
   return true;
 }
 
 uint32_t FatLock::notifyAll(const ThreadContext &Thread) {
-  std::unique_lock<std::mutex> Guard(Mutex);
+  std::lock_guard<std::mutex> Guard(Mutex);
   assert(Owner == Thread.index() && "notifyAll by non-owner");
   ++Counters.Notifies;
-  uint32_t Woken = static_cast<uint32_t>(WaitSet.size());
-  for (WaitNode *Node : WaitSet) {
+  // Morph the whole wait set onto the entry queue in FIFO order — no
+  // thundering herd: each waiter sleeps through until the release that
+  // makes it the claimable head, so a broadcast of N waiters costs zero
+  // wakes here and exactly one block per waiter overall.  (Prewaking the
+  // morphed set was tried and measured worse on both wall and CPU time:
+  // the waiters wake before their turn, re-park, and the broadcast pays
+  // N futex wakes up front for nothing.)
+  uint32_t Moved = 0;
+  while (WaitNode *Node = WaitHead) {
+    removeWaiter(Node);
     Node->Notified = true;
-    Node->Cv.notify_one();
+    pushEntry(&Node->Entry);
+    ++Moved;
   }
-  WaitSet.clear();
-  return Woken;
+  return Moved;
 }
 
 bool FatLock::heldBy(const ThreadContext &Thread) const {
@@ -329,12 +425,12 @@ uint32_t FatLock::holdCount() const {
 
 uint32_t FatLock::entryQueueLength() const {
   std::lock_guard<std::mutex> Guard(Mutex);
-  return static_cast<uint32_t>(NextTicket - ServingTicket);
+  return EntryLen;
 }
 
 uint32_t FatLock::waitSetSize() const {
   std::lock_guard<std::mutex> Guard(Mutex);
-  return static_cast<uint32_t>(WaitSet.size());
+  return WaitLen;
 }
 
 FatLockStats FatLock::stats() const {

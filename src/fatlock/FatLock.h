@@ -9,6 +9,28 @@
 /// The count here is "the number of locks (not the number of locks minus
 /// one, as in a thin lock)" — paper §2.3.
 ///
+/// Blocking is built on the waiting substrate (park/Parker.h): the entry
+/// queue and the wait set are intrusive FIFOs of stack-allocated nodes,
+/// each naming the blocked thread's Parker, and every wake is a *direct
+/// handoff* — the releaser (or notifier) dequeues exactly the thread
+/// whose turn it is and unparks it.  The previous implementation's
+/// condition variables broadcast every release to every queued thread
+/// (notify_all, with a ticket check deciding who proceeds); here only
+/// the FIFO head is ever woken, so a release costs one futex wake
+/// regardless of queue depth.  Entry order is still strictly FIFO: the
+/// queue head has exclusive claim on a free monitor, and the
+/// non-blocking paths (tryLock, the uncontended fast path) stand down
+/// whenever the queue is non-empty — no barging.
+///
+/// notify/notifyAll *morph* waiters instead of waking them: the wait
+/// node is moved from the wait set onto the entry-queue tail and the
+/// thread is granted the monitor by a handoff like any other entrant.  A
+/// notified thread therefore blocks exactly once per wait/notify round
+/// trip (a naive notify wakes it a first time only to park again behind
+/// the notifier's hold), and notifyAll of N waiters issues zero wakes up
+/// front instead of N — the releases that grant the monitor wake each in
+/// FIFO turn.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef THINLOCKS_FATLOCK_FATLOCK_H
@@ -16,12 +38,14 @@
 
 #include "threads/ThreadContext.h"
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
-#include <vector>
 
 namespace thinlocks {
+
+class LockStats;
+class Parker;
 
 /// Aggregate event counts for one FatLock (snapshot under the internal
 /// mutex, so values are mutually consistent).
@@ -33,7 +57,7 @@ struct FatLockStats {
   uint64_t Timeouts = 0;
 };
 
-/// A heavy-weight monitor.  Entry is FIFO (ticket-ordered); the wait set
+/// A heavy-weight monitor.  Entry is FIFO (queue-ordered); the wait set
 /// is FIFO (notify wakes the longest-waiting thread).  All identities are
 /// 15-bit thread indices from a ThreadRegistry.
 class FatLock {
@@ -64,9 +88,10 @@ public:
   enum class TimedResult { Acquired, TimedOut, Retired };
 
   /// Like lockIfLive(), but gives up after \p TimeoutNanos (negative =
-  /// wait forever).  On timeout the thread abandons its FIFO ticket —
-  /// later entrants are not stranded behind it — and the caller typically
-  /// runs a deadlock check before retrying (see ThinLockImpl).
+  /// wait forever).  On timeout the thread dequeues itself from the
+  /// entry FIFO — later entrants are not stranded behind it — and the
+  /// caller typically runs a deadlock check before retrying (see
+  /// ThinLockImpl).
   TimedResult lockIfLiveFor(const ThreadContext &Thread,
                             int64_t TimeoutNanos);
 
@@ -132,6 +157,14 @@ public:
   /// Wakes every waiter.  Asserts ownership.  \returns how many.
   uint32_t notifyAll(const ThreadContext &Thread);
 
+  /// Routes wake-handoff latency samples (unpark-to-resume nanoseconds,
+  /// measured by the Parkers) into \p Stats' time-to-wake histogram.
+  /// Set by ThinLockImpl at inflation; null (the default) disables
+  /// recording.  The sink must outlive the monitor's last use.
+  void setStatsSink(LockStats *Stats) {
+    StatsSink.store(Stats, std::memory_order_relaxed);
+  }
+
   /// \returns true if \p Thread currently owns this monitor.
   bool heldBy(const ThreadContext &Thread) const;
 
@@ -151,36 +184,66 @@ public:
   FatLockStats stats() const;
 
 private:
+  /// One thread blocked in the entry queue; stack-allocated in the
+  /// blocking call, linked FIFO.  All fields are guarded by Mutex.
+  struct EntryNode {
+    Parker *Pk = nullptr;
+    EntryNode *Next = nullptr;
+  };
+
+  /// One thread in the wait set; stack-allocated in wait().  All fields
+  /// are guarded by Mutex.  The embedded EntryNode is what notify links
+  /// onto the entry FIFO (wait morphing) — the waiting thread keeps
+  /// sleeping on the same Parker and is woken by the granting handoff.
   struct WaitNode {
-    std::condition_variable Cv;
+    EntryNode Entry;
+    WaitNode *Next = nullptr;
     bool Notified = false;
   };
 
+  // Entry-FIFO plumbing; Mutex must be held for all of these.
+  void pushEntry(EntryNode *Node);
+  void removeEntry(EntryNode *Node);
+  /// \returns the Parker to hand the monitor to (the queue head's), or
+  /// null when the queue is empty.  Called by releasers with Owner == 0.
+  Parker *entryHandoffTarget() const;
+  /// \returns true when \p Node holds the exclusive claim on the free
+  /// monitor (no owner, first in line).
+  bool claimable(const EntryNode *Node) const {
+    return Owner == 0 && EntryHead == Node;
+  }
+  /// Dequeues \p Node (the head), installs \p Index as owner, and feeds
+  /// the wake-latency sample to the stats sink.
+  void grantTo(EntryNode *Node, uint16_t Index);
+
   // Blocks until the calling thread holds the monitor; Guard must hold
-  // Mutex on entry and holds it on return.
-  void acquireSlow(std::unique_lock<std::mutex> &Guard, uint16_t Index);
+  // Mutex on entry and holds it on return.  Counts the acquisition as
+  // contended unless the monitor was free with an empty queue.
+  void acquireSlow(std::unique_lock<std::mutex> &Guard,
+                   const ThreadContext &Thread);
   void removeWaiter(WaitNode *Node);
-  // Advances ServingTicket past tickets whose owners timed out; Mutex
-  // must be held.  Keeps the FIFO moving (and the quiescence test
-  // meaningful) after a lockIfLiveFor() abandonment.
-  void skipAbandonedTickets();
+  void recordWakeLatency(const Parker *Pk);
 
   mutable std::mutex Mutex;
-  std::condition_variable EntryCv;
   uint16_t Owner = 0;
   bool Retired = false;
   bool Pinned = false;
   uint32_t Hold = 0;
-  uint64_t NextTicket = 0;
-  uint64_t ServingTicket = 0;
+  /// FIFO of threads blocked on entry.  A free monitor belongs to the
+  /// head; releasers wake exactly that thread.
+  EntryNode *EntryHead = nullptr;
+  EntryNode *EntryTail = nullptr;
+  uint32_t EntryLen = 0;
+  /// FIFO wait set; notify() wakes the head.
+  WaitNode *WaitHead = nullptr;
+  WaitNode *WaitTail = nullptr;
+  uint32_t WaitLen = 0;
   /// Threads currently inside wait() — including the window after
-  /// notify removes them from WaitSet but before they re-enter the
-  /// ticket queue.  Retirement (deflation) must treat them as users.
+  /// notify removes them from the wait set but before they re-enter the
+  /// entry queue.  Retirement (deflation) must treat them as users.
   uint32_t ThreadsInWait = 0;
-  /// Tickets abandoned by timed-out entrants, not yet reached by
-  /// ServingTicket.  Almost always empty.
-  std::vector<uint64_t> AbandonedTickets;
-  std::vector<WaitNode *> WaitSet;
+  /// Destination for wake-handoff latency samples (null = don't record).
+  std::atomic<LockStats *> StatsSink{nullptr};
   FatLockStats Counters;
 };
 

@@ -1,0 +1,125 @@
+//===- park/ParkingLot.cpp - Address-keyed queues of parked threads -------===//
+
+#include "park/ParkingLot.h"
+
+#include <vector>
+
+using namespace thinlocks;
+
+ParkingLot &ParkingLot::global() {
+  static ParkingLot Lot;
+  return Lot;
+}
+
+size_t ParkingLot::bucketIndexOf(const void *Key) {
+  // Fibonacci hash over the address with the low alignment bits dropped;
+  // object headers are at least 8-byte aligned so the low bits carry no
+  // entropy.
+  uintptr_t Addr = reinterpret_cast<uintptr_t>(Key) >> 3;
+  return (Addr * UINT64_C(0x9E3779B97F4A7C15) >> 58) % NumBuckets;
+}
+
+void ParkingLot::unlink(Bucket &B, WaitNode *Node) {
+  WaitNode *Prev = nullptr;
+  for (WaitNode *Cur = B.Head; Cur; Prev = Cur, Cur = Cur->Next) {
+    if (Cur != Node)
+      continue;
+    (Prev ? Prev->Next : B.Head) = Cur->Next;
+    if (B.Tail == Cur)
+      B.Tail = Prev;
+    Cur->Next = nullptr;
+    Cur->Queued = false;
+    return;
+  }
+  tlUnreachable("unlink: node not in bucket");
+}
+
+ParkingLot::ParkResult
+ParkingLot::parkImpl(const void *Key, Parker &Pk, bool (*Validate)(void *),
+                     void *Ctx, bool HasDeadline,
+                     std::chrono::steady_clock::time_point Deadline) {
+  Bucket &B = bucketFor(Key);
+  WaitNode Node;
+  Node.Pk = &Pk;
+  Node.Key = Key;
+  {
+    std::lock_guard<std::mutex> G(B.Mutex);
+    if (!Validate(Ctx))
+      return ParkResult::Invalid;
+    Node.Queued = true;
+    (B.Tail ? B.Tail->Next : B.Head) = &Node;
+    B.Tail = &Node;
+  }
+  for (;;) {
+    Parker::WakeReason R = HasDeadline ? Pk.parkUntil(Deadline) : Pk.park();
+    std::lock_guard<std::mutex> G(B.Mutex);
+    if (!Node.Queued) {
+      // A waker dequeued us.  If we got here on a spurious wake its
+      // token may still be in flight; it will surface as one harmless
+      // spurious wake at this thread's next park site.
+      return ParkResult::Unparked;
+    }
+    if (HasDeadline && (R == Parker::WakeReason::TimedOut ||
+                        std::chrono::steady_clock::now() >= Deadline)) {
+      unlink(B, &Node);
+      return ParkResult::TimedOut;
+    }
+    // Still queued with time to spare: the wake was spurious or the
+    // token was stale (an old handoff for a park we already finished).
+    // Loop and sleep again.
+  }
+}
+
+size_t ParkingLot::unparkOne(const void *Key) {
+  Bucket &B = bucketFor(Key);
+  Parker *Target = nullptr;
+  {
+    std::lock_guard<std::mutex> G(B.Mutex);
+    for (WaitNode *Cur = B.Head; Cur; Cur = Cur->Next) {
+      if (Cur->Key != Key)
+        continue;
+      Target = Cur->Pk;
+      unlink(B, Cur);
+      break;
+    }
+  }
+  // Unpark after dropping the bucket mutex: the wakee's first action is
+  // to take that mutex, and waking it while we still hold it would
+  // convoy every wake behind the bucket.
+  if (!Target)
+    return 0;
+  Target->unpark();
+  return 1;
+}
+
+size_t ParkingLot::unparkAll(const void *Key) {
+  Bucket &B = bucketFor(Key);
+  // Capture targets under the mutex; once a node is unlinked its stack
+  // frame can disappear as soon as its owner re-checks, so only the
+  // registry-lifetime Parker pointers survive the unlock.
+  std::vector<Parker *> Targets;
+  {
+    std::lock_guard<std::mutex> G(B.Mutex);
+    WaitNode *Cur = B.Head;
+    while (Cur) {
+      WaitNode *Next = Cur->Next;
+      if (Cur->Key == Key) {
+        Targets.push_back(Cur->Pk);
+        unlink(B, Cur);
+      }
+      Cur = Next;
+    }
+  }
+  for (Parker *Target : Targets)
+    Target->unpark();
+  return Targets.size();
+}
+
+size_t ParkingLot::queuedOn(const void *Key) {
+  Bucket &B = bucketFor(Key);
+  std::lock_guard<std::mutex> G(B.Mutex);
+  size_t N = 0;
+  for (WaitNode *Cur = B.Head; Cur; Cur = Cur->Next)
+    N += Cur->Key == Key;
+  return N;
+}

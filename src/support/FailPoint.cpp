@@ -28,7 +28,7 @@ std::array<State, NumIds> States;
 constexpr const char *Names[NumIds] = {
     "thinlock.initial-cas",      "spinwait.preempt",
     "thinlock.inflate-race",     "monitortable.exhausted",
-    "threadregistry.exhausted",
+    "threadregistry.exhausted",  "park.spurious",
 };
 
 State &stateOf(Id I) { return States[static_cast<unsigned>(I)]; }

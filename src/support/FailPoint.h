@@ -47,6 +47,7 @@ enum class Id : uint8_t {
   ThinLockInflateRace,      ///< "thinlock.inflate-race": widen publish window.
   MonitorTableExhausted,    ///< "monitortable.exhausted": allocate() fails.
   ThreadRegistryExhausted,  ///< "threadregistry.exhausted": attach() fails.
+  ParkSpurious,             ///< "park.spurious": Parker::park returns early.
   NumIds,
 };
 

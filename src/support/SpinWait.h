@@ -66,6 +66,11 @@ struct SpinPolicy {
   uint64_t MaxParkNanos = 2 * 1000 * 1000;  // 2ms
 };
 
+/// The one default ladder every thin-lock contention path escalates on
+/// (lockSlow, tryLock's fat-Retired retry, tryLockFor).  Tuning the
+/// ladder means editing this policy, not hunting per-call-site copies.
+inline constexpr SpinPolicy DefaultSpinPolicy{};
+
 /// Truncated exponential backoff with yield and park escalation.  Call
 /// spinOnce() each time the guarded condition is observed false.
 class SpinWait {
@@ -83,8 +88,13 @@ public:
   SpinWait() = default;
   explicit SpinWait(const SpinPolicy &Policy) : Policy(Policy) {}
 
-  /// Performs one backoff step.
-  void spinOnce() {
+  /// Runs the pause/yield portion of one backoff round and advances the
+  /// ladder.  \returns 0 while on the pause/yield rungs, or the length
+  /// (nanoseconds) of this round's park once the ladder has escalated to
+  /// its park rung — the *caller* owns the sleep, so a blind
+  /// `sleep_for` and a wakeable deadline-park in the ParkingLot (see
+  /// ThinLockImpl::lockSlow) share one ladder.
+  uint64_t nextRound() {
     if (TL_FAILPOINT(SpinWaitPreempt)) {
       // Injected preemption: model the scheduler seizing the CPU in the
       // middle of a backoff round (the adverse schedule that motivates
@@ -98,21 +108,29 @@ public:
     for (unsigned I = 0; I < Pauses; ++I)
       cpuRelax();
     Spins += Pauses;
+    uint64_t ParkNanos = 0;
     if (Round >= Policy.ParkThresholdRound) {
-      uint64_t Nanos = Policy.MinParkNanos;
+      ParkNanos = Policy.MinParkNanos;
       unsigned Doublings = Round - Policy.ParkThresholdRound;
       // Saturate instead of shifting past 63 bits.
-      for (unsigned I = 0; I < Doublings && Nanos < Policy.MaxParkNanos; ++I)
-        Nanos *= 2;
-      if (Nanos > Policy.MaxParkNanos)
-        Nanos = Policy.MaxParkNanos;
-      std::this_thread::sleep_for(std::chrono::nanoseconds(Nanos));
+      for (unsigned I = 0; I < Doublings && ParkNanos < Policy.MaxParkNanos;
+           ++I)
+        ParkNanos *= 2;
+      if (ParkNanos > Policy.MaxParkNanos)
+        ParkNanos = Policy.MaxParkNanos;
       ++Parks;
     } else if (Round >= Policy.YieldThresholdRound) {
       std::this_thread::yield();
       ++Yields;
     }
     ++Round;
+    return ParkNanos;
+  }
+
+  /// Performs one backoff step, sleeping out the park rung in place.
+  void spinOnce() {
+    if (uint64_t ParkNanos = nextRound())
+      std::this_thread::sleep_for(std::chrono::nanoseconds(ParkNanos));
   }
 
   /// Resets the policy after a successful acquisition.

@@ -16,6 +16,7 @@
 
 namespace thinlocks {
 
+class Parker;
 class ThreadRegistry;
 
 /// Identity of an attached thread, as seen by the locking subsystems.
@@ -28,6 +29,7 @@ class ThreadContext {
   friend class ThreadRegistry;
 
   ThreadRegistry *Registry = nullptr;
+  Parker *Pk = nullptr;
   uint16_t Index = 0;
   uint32_t Shifted = 0;
 
@@ -49,6 +51,11 @@ public:
   /// \returns the registry this context is attached to; only meaningful
   /// when isValid().
   ThreadRegistry &registry() const { return *Registry; }
+
+  /// \returns this thread's Parker — the one blocking primitive every
+  /// contended path sleeps on (see park/Parker.h).  Owned by the
+  /// registry's ThreadInfo; non-null whenever isValid().
+  Parker *parker() const { return Pk; }
 };
 
 } // namespace thinlocks

@@ -78,6 +78,9 @@ ThreadContext ThreadRegistry::attach(std::string Name, AttachError *Error) {
   Info->Name = std::move(Name);
   Info->NativeId = std::this_thread::get_id();
   Info->BlockedOn.store(nullptr, std::memory_order_relaxed);
+  // Drop any token a stale unpark left behind after the previous owner
+  // of this index detached; a new thread must not wake early for it.
+  Info->Park.reset();
   Slots[Index].store(Info, std::memory_order_release);
 
   uint32_t Live = LiveCount.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -95,6 +98,7 @@ ThreadContext ThreadRegistry::attach(std::string Name, AttachError *Error) {
 
   ThreadContext Ctx;
   Ctx.Registry = this;
+  Ctx.Pk = &Info->Park;
   Ctx.Index = Index;
   Ctx.Shifted = static_cast<uint32_t>(Index) << 16;
   return Ctx;

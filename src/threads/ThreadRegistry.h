@@ -25,6 +25,7 @@
 #ifndef THINLOCKS_THREADS_THREADREGISTRY_H
 #define THINLOCKS_THREADS_THREADREGISTRY_H
 
+#include "park/Parker.h"
 #include "threads/ThreadContext.h"
 
 #include <atomic>
@@ -48,6 +49,11 @@ struct ThreadInfo {
   /// running).  Published by the contention slow paths; consumed by the
   /// deadlock detector's owner-graph walk.
   std::atomic<const Object *> BlockedOn{nullptr};
+  /// The thread's one blocking primitive, shared by every contended
+  /// path (fat-lock entry/wait queues, ParkingLot).  Lives as long as
+  /// the registry, so a straggling unpark() from an abandoned handoff
+  /// can never target freed memory even after the thread detaches.
+  Parker Park;
 };
 
 /// Why attach() failed to produce a valid context.
