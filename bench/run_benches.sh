@@ -7,9 +7,25 @@
 # from a `bench` preset build when a PR touches a hot path, and compare
 # against the committed copy before overwriting it.
 #
+# Failure discipline: every suite run and every merge is checked, and the
+# merged files are staged in a temp directory and only moved over the
+# committed copies after *all* of them built successfully.  A crashing
+# suite or a malformed JSON therefore fails the script fast (non-zero
+# exit) and leaves the prior BENCH_*.json bit-for-bit untouched — no more
+# half-regenerated trajectories where fastpath was overwritten before the
+# contention merge died.
+#
 # Usage:
 #   cmake --preset bench && cmake --build --preset bench -j
 #   bench/run_benches.sh [build-dir]     # default: build-bench
+#
+# Environment:
+#   BENCH_OUT_DIR   where the merged BENCH_*.json land (default: repo
+#                   root).  Used by tests to exercise the script against
+#                   stub binaries without touching the committed files.
+#   BENCH_TRACE=1   also run macro_trace (if built) and stage
+#                   BENCH_trace.json, a Chrome trace_event artifact of a
+#                   traced macro replay (see DESIGN.md §10).
 #
 #===----------------------------------------------------------------------===#
 set -euo pipefail
@@ -17,6 +33,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build-bench}"
 case "$BUILD_DIR" in /*) ;; *) BUILD_DIR="$ROOT/$BUILD_DIR" ;; esac
+OUT_DIR="${BENCH_OUT_DIR:-$ROOT}"
 
 # Suites per trajectory file.  bench_fastpath is the per-operation cost
 # ledger (paper §2/§3.3); bench_inflation_storm is the multi-thread
@@ -42,10 +59,16 @@ trap 'rm -rf "$TMP"' EXIT
 run_suite() {
   local Suite="$1"; shift
   echo "== $Suite" >&2
+  local Status=0
   "$BUILD_DIR/bench/$Suite" "$@" \
     --benchmark_format=console \
     --benchmark_out="$TMP/$Suite.json" \
-    --benchmark_out_format=json >&2
+    --benchmark_out_format=json >&2 || Status=$?
+  if [ "$Status" -ne 0 ]; then
+    echo "error: $Suite exited with status $Status; aborting without" \
+         "touching the committed BENCH_*.json files." >&2
+    exit "$Status"
+  fi
 }
 
 # Fast-path benches are single-run by default (interactive use); for the
@@ -61,10 +84,14 @@ done
 
 # Merge the per-suite JSON files: one shared context (identical flags for
 # every suite in a run) plus the concatenated benchmark records, each
-# tagged with its suite of origin.
+# tagged with its suite of origin.  Merges write into $TMP/staged — a
+# failed json.load here (truncated or garbage suite output) must not
+# clobber anything committed.
+mkdir -p "$TMP/staged"
+
 merge() {
-  local Out="$1"; shift
-  python3 - "$Out" "$@" <<'PYEOF'
+  local Name="$1"; shift
+  if ! python3 - "$TMP/staged/$Name" "$@" <<'PYEOF'
 import json, sys
 
 out_path, *inputs = sys.argv[1:]
@@ -83,12 +110,42 @@ for path in inputs:
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
-print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
+print(f"merged {out_path.rsplit('/', 1)[-1]} ({len(merged['benchmarks'])} benchmarks)")
 PYEOF
+  then
+    echo "error: merging $Name failed; aborting without touching the" \
+         "committed BENCH_*.json files." >&2
+    exit 1
+  fi
+  STAGED+=("$Name")
 }
 
+STAGED=()
 FASTPATH_INPUTS=(); for S in "${FASTPATH_SUITES[@]}"; do FASTPATH_INPUTS+=("$TMP/$S.json"); done
 CONTENTION_INPUTS=(); for S in "${CONTENTION_SUITES[@]}"; do CONTENTION_INPUTS+=("$TMP/$S.json"); done
 
-merge "$ROOT/BENCH_fastpath.json" "${FASTPATH_INPUTS[@]}"
-merge "$ROOT/BENCH_contention.json" "${CONTENTION_INPUTS[@]}"
+merge BENCH_fastpath.json "${FASTPATH_INPUTS[@]}"
+merge BENCH_contention.json "${CONTENTION_INPUTS[@]}"
+
+# Optional tracing artifact: a Chrome trace of one traced macro replay
+# plus the hot-lock table on stderr.  Staged with the same all-or-nothing
+# discipline.
+if [ "${BENCH_TRACE:-0}" != 0 ]; then
+  if [ ! -x "$BUILD_DIR/bench/macro_trace" ]; then
+    echo "error: BENCH_TRACE=1 but $BUILD_DIR/bench/macro_trace is not built." >&2
+    exit 1
+  fi
+  echo "== macro_trace" >&2
+  if ! "$BUILD_DIR/bench/macro_trace" --out "$TMP/staged/BENCH_trace.json" >&2; then
+    echo "error: macro_trace failed; aborting without touching the" \
+         "committed BENCH_*.json files." >&2
+    exit 1
+  fi
+  STAGED+=(BENCH_trace.json)
+fi
+
+# Everything succeeded: publish the staged files together.
+for Name in "${STAGED[@]}"; do
+  mv -f "$TMP/staged/$Name" "$OUT_DIR/$Name"
+  echo "wrote $OUT_DIR/$Name"
+done

@@ -25,6 +25,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace thinlocks {
@@ -130,64 +131,69 @@ public:
     }
   }
 
-  /// Reads every counter once into a coherent copy.
+  /// Reads every counter once into a coherent copy, relative to the
+  /// last reset() epoch.
   Snapshot snapshot() const;
 
-  uint64_t totalAcquisitions() const {
-    uint64_t Sum = FastPathAcquires.value();
-    for (const auto &Bucket : DepthBuckets)
-      Sum += Bucket.value();
-    return Sum;
-  }
-  uint64_t totalReleases() const { return Releases.value(); }
-  uint64_t fastPathAcquisitions() const { return FastPathAcquires.value(); }
-  uint64_t fatPathAcquisitions() const { return FatPath.value(); }
-  uint64_t spinIterations() const { return SpinIterations.value(); }
+  uint64_t totalAcquisitions() const { return snapshot().Acquisitions; }
+  uint64_t totalReleases() const { return snapshot().Releases; }
+  uint64_t fastPathAcquisitions() const { return snapshot().FastPath; }
+  uint64_t fatPathAcquisitions() const { return snapshot().FatPath; }
+  uint64_t spinIterations() const { return snapshot().SpinIterations; }
   uint64_t contentionInflations() const {
-    return ContentionInflations.value();
+    return snapshot().ContentionInflations;
   }
-  uint64_t overflowInflations() const { return OverflowInflations.value(); }
-  uint64_t waitInflations() const { return WaitInflations.value(); }
-  uint64_t inflations() const {
-    return contentionInflations() + overflowInflations() + waitInflations();
+  uint64_t overflowInflations() const {
+    return snapshot().OverflowInflations;
   }
-  uint64_t deflations() const { return Deflations.value(); }
-  uint64_t emergencyInflations() const { return EmergencyInflations.value(); }
+  uint64_t waitInflations() const { return snapshot().WaitInflations; }
+  uint64_t inflations() const { return snapshot().inflations(); }
+  uint64_t deflations() const { return snapshot().Deflations; }
+  uint64_t emergencyInflations() const {
+    return snapshot().EmergencyInflations;
+  }
   uint64_t timedOutAcquisitions() const {
-    return TimedOutAcquisitions.value();
+    return snapshot().TimedOutAcquisitions;
   }
-  uint64_t deadlocksDetected() const { return DeadlocksDetected.value(); }
+  uint64_t deadlocksDetected() const {
+    return snapshot().DeadlocksDetected;
+  }
 
   /// \returns how many wake handoffs have been recorded.
-  uint64_t wakeCount() const {
-    uint64_t Sum = 0;
-    for (const auto &Bucket : WakeBuckets)
-      Sum += Bucket.value();
-    return Sum;
-  }
+  uint64_t wakeCount() const { return snapshot().Wakes; }
   /// \returns the wake count in histogram bucket \p Bucket (0..9).
   uint64_t wakeBucket(unsigned Bucket) const {
-    return WakeBuckets[Bucket].value();
+    return snapshot().WakeBuckets[Bucket];
   }
 
   /// \returns the acquisition count in Figure 3 bucket \p Bucket (0..3).
   uint64_t depthBucket(unsigned Bucket) const {
-    uint64_t Count = DepthBuckets[Bucket].value();
-    if (Bucket == 0)
-      Count += FastPathAcquires.value();
-    return Count;
+    return snapshot().DepthBuckets[Bucket];
   }
 
   /// \returns bucket \p Bucket as a fraction of all acquisitions (0 when
   /// nothing has been recorded).
   double depthFraction(unsigned Bucket) const;
 
+  /// Starts a new counting epoch: subsequent snapshots and accessors
+  /// report only events recorded after this call.  *Epoch-based*: the
+  /// live striped counters are never zeroed (zeroing 36 stripes while
+  /// writers bump and readers sum them tears — a snapshot overlapping
+  /// the stripe-by-stripe wipe mixes pre- and post-reset stripe values
+  /// and can even make paired counters go "negative", e.g. more
+  /// acquires than releases by millions).  Instead reset() captures a
+  /// baseline snapshot under a mutex and snapshot() subtracts it, so a
+  /// reset racing concurrent recording and snapshotting yields only the
+  /// usual in-flight slack, never torn totals.
   void reset();
 
   /// Renders a human-readable multi-line summary.
   std::string summary() const;
 
 private:
+  /// One pass over the live counters, ignoring the epoch baseline.
+  Snapshot rawSnapshot() const;
+
   StatsCounter Releases;
   StatsCounter FastPathAcquires;
   StatsCounter FatPath;
@@ -203,6 +209,11 @@ private:
   std::array<StatsCounter, NumWakeBuckets> WakeBuckets;
   StatsCounter WakeNanosTotal;
   std::atomic<uint64_t> WakeNanosMax{0};
+  /// The raw-counter values at the last reset(); subtracted from every
+  /// raw snapshot.  Guarded by BaselineMutex (reset/snapshot only — the
+  /// recording hot paths never touch it).
+  mutable std::mutex BaselineMutex;
+  Snapshot Baseline;
 };
 
 } // namespace thinlocks

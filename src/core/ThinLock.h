@@ -47,6 +47,7 @@
 #include "core/Variants.h"
 #include "fatlock/MonitorTable.h"
 #include "heap/Object.h"
+#include "obs/EventRing.h"
 #include "park/ParkingLot.h"
 #include "support/Compiler.h"
 #include "support/FailPoint.h"
@@ -226,6 +227,8 @@ public:
         // Publish-and-wake: threads that saw the stale fat word are
         // lot-parked on the object waiting for this store.
         ParkingLot::global().unparkAll(Obj);
+        if (obs::tracingEnabled())
+          recordEvent(Obj, Thread, obs::EventKind::Deflate);
         if (Stats) {
           Stats->recordRelease();
           Stats->recordDeflation();
@@ -246,9 +249,9 @@ public:
     return true;
   }
 
-  /// Attempts to acquire without blocking (recursion always succeeds up
-  /// to the thin count limit; a contended thin lock fails without
-  /// inflating).
+  /// Attempts to acquire without blocking (recursion always succeeds —
+  /// the count-saturated 257th hold inflates, like lock()'s; a
+  /// *contended* thin lock fails without inflating).
   bool tryLock(Object *Obj, const ThreadContext &Thread) {
     std::atomic<uint32_t> &Word = Obj->lockWord();
     uint32_t Shifted = Thread.shiftedIndex();
@@ -293,6 +296,20 @@ public:
           Stats->recordAcquire(lockword::countOf(Value) + 2);
         return true;
       }
+      if (lockword::isThinOwnedBy(Value, Shifted)) {
+        // Ours with the count field saturated at 255 (256 holds): the
+        // 257th recursive acquisition must succeed by inflating, exactly
+        // as lock() does — recursion can never fail a tryLock.  (The
+        // paper's count-overflow inflation cause, §2.3.)
+        uint32_t Count = lockword::countOf(Value);
+        inflateOwned(Obj, Thread, Value, Count + 2,
+                     obs::InflateCause::Overflow);
+        if (Stats) {
+          Stats->recordOverflowInflation();
+          Stats->recordAcquire(Count + 2);
+        }
+        return true;
+      }
       return false;
     }
   }
@@ -318,6 +335,10 @@ public:
     SpinWait Spinner(Options.Spin);
     BlockedOnScope Blocked(Thread, Obj);
     bool SawContention = false;
+    const bool Tracing = obs::tracingEnabled();
+    const uint64_t TraceT0 = Tracing ? obs::monotonicNanos() : 0;
+    const uint64_t TraceParks =
+        Tracing && Thread.parker() ? Thread.parker()->blockedParkCount() : 0;
     for (;;) {
       uint32_t Value = Word.load(std::memory_order_acquire);
 
@@ -332,6 +353,9 @@ public:
         switch (Fat->lockIfLiveFor(Thread, Remaining)) {
         case FatLock::TimedResult::Acquired:
           Policy::afterAcquireFence();
+          if (TL_UNLIKELY(Tracing))
+            recordContendedAcquire(Obj, Thread, TraceT0, TraceParks,
+                                   Fat->entryQueueLength());
           if (Stats) {
             Stats->recordFatPath();
             Stats->recordAcquire(Fat->holdCount());
@@ -355,7 +379,8 @@ public:
             Stats->recordAcquire(Count + 2);
           return TimedLockStatus::Acquired;
         }
-        inflateOwned(Obj, Thread, Value, Count + 2);
+        inflateOwned(Obj, Thread, Value, Count + 2,
+                     obs::InflateCause::Overflow);
         if (Stats) {
           Stats->recordOverflowInflation();
           Stats->recordAcquire(Count + 2);
@@ -372,7 +397,10 @@ public:
           // §2.3.4 locality of contention, as in lockSlow(): only
           // inflate when the bounded wait actually met a contender.
           if (SawContention) {
-            inflateOwned(Obj, Thread, Old | Shifted, 1);
+            inflateOwned(Obj, Thread, Old | Shifted, 1,
+                         obs::InflateCause::Contention);
+            if (TL_UNLIKELY(Tracing))
+              recordContendedAcquire(Obj, Thread, TraceT0, TraceParks, 0);
             if (Stats)
               Stats->recordContentionInflation();
           }
@@ -428,13 +456,21 @@ public:
     } else {
       if (!lockword::isThinOwnedBy(Value, Thread.shiftedIndex()))
         return WaitStatus::NotOwner;
-      Fat = inflateOwned(Obj, Thread, Value, lockword::countOf(Value) + 1);
+      Fat = inflateOwned(Obj, Thread, Value, lockword::countOf(Value) + 1,
+                         obs::InflateCause::Wait);
       if (Stats)
         Stats->recordWaitInflation();
     }
-    return Fat->wait(Thread, TimeoutNanos) == FatLock::WaitResult::Notified
-               ? WaitStatus::Notified
-               : WaitStatus::TimedOut;
+    const bool Tracing = obs::tracingEnabled();
+    const uint64_t TraceT0 = Tracing ? obs::monotonicNanos() : 0;
+    bool Notified =
+        Fat->wait(Thread, TimeoutNanos) == FatLock::WaitResult::Notified;
+    if (TL_UNLIKELY(Tracing)) {
+      uint64_t Now = obs::monotonicNanos();
+      recordEvent(Obj, Thread, obs::EventKind::Wait,
+                  Now >= TraceT0 ? Now - TraceT0 : 0, Notified ? 1 : 0);
+    }
+    return Notified ? WaitStatus::Notified : WaitStatus::TimedOut;
   }
 
   /// Java Object.notify().  On a thin lock held by the caller this is a
@@ -476,7 +512,8 @@ public:
       return Monitors.resolve(Value);
     assert(lockword::isThinOwnedBy(Value, Thread.shiftedIndex()) &&
            "inflate hint on a monitor the thread does not own");
-    return inflateOwned(Obj, Thread, Value, lockword::countOf(Value) + 1);
+    return inflateOwned(Obj, Thread, Value, lockword::countOf(Value) + 1,
+                        obs::InflateCause::Hint);
   }
 
   /// Out-of-line entry points for the paper's "FnCall" variant (§3.5):
@@ -498,6 +535,44 @@ public:
   }
 
 private:
+  /// Appends one lock event to \p Thread's ring.  Callers gate on
+  /// obs::tracingEnabled() so the disabled path costs one load+branch;
+  /// slow paths only — the fast path has no event sites at all.
+  static void recordEvent(const Object *Obj, const ThreadContext &Thread,
+                          obs::EventKind Kind, uint64_t Arg = 0,
+                          uint16_t Extra = 0) {
+    obs::EventRing *Ring = Thread.eventRing();
+    if (!Ring)
+      return;
+    Ring->record(obs::monotonicNanos(),
+                 reinterpret_cast<uint64_t>(Obj),
+                 obs::LockEvent::packMeta(Kind, Thread.index(),
+                                          Obj->classIndex(), Extra),
+                 Arg);
+  }
+
+  /// Records the end of a contended slow-path episode that began at
+  /// \p StartNanos: the contended acquisition itself and, when the
+  /// thread's Parker actually blocked during the episode, the directed
+  /// wake that resumed it (with its unpark-to-resume latency).
+  static void recordContendedAcquire(const Object *Obj,
+                                     const ThreadContext &Thread,
+                                     uint64_t StartNanos,
+                                     uint64_t BlockedParksBefore,
+                                     uint32_t QueueDepth) {
+    uint64_t Now = obs::monotonicNanos();
+    uint16_t Depth =
+        QueueDepth > UINT16_MAX ? UINT16_MAX : static_cast<uint16_t>(
+                                                   QueueDepth);
+    recordEvent(Obj, Thread, obs::EventKind::ContendedAcquire,
+                Now >= StartNanos ? Now - StartNanos : 0, Depth);
+    const Parker *Pk = Thread.parker();
+    if (Pk && Pk->blockedParkCount() > BlockedParksBefore &&
+        Pk->lastBlockedWakeNanos() > 0)
+      recordEvent(Obj, Thread, obs::EventKind::Wake,
+                  Pk->lastBlockedWakeNanos());
+  }
+
   /// Publishes "this thread is blocked acquiring Obj" for the lifetime of
   /// a contention episode — the waits-for edge the deadlock detector
   /// reads.  Slow paths only; the fast path never touches the registry.
@@ -551,12 +626,25 @@ private:
     if (Deadline > Clamp)
       Deadline = Clamp;
     std::atomic<uint32_t> &Word = Obj->lockWord();
-    ParkingLot::global().parkUntil(
+    const bool Tracing = obs::tracingEnabled();
+    const uint64_t TraceT0 = Tracing ? obs::monotonicNanos() : 0;
+    ParkingLot::ParkResult Result = ParkingLot::global().parkUntil(
         Obj, *Thread.parker(),
         [&] {
           return Word.load(std::memory_order_relaxed) == ObservedWord;
         },
         Deadline);
+    if (TL_UNLIKELY(Tracing)) {
+      uint64_t Now = obs::monotonicNanos();
+      recordEvent(Obj, Thread, obs::EventKind::Park,
+                  Now >= TraceT0 ? Now - TraceT0 : 0,
+                  static_cast<uint16_t>(Result));
+      const Parker *Pk = Thread.parker();
+      if (Result == ParkingLot::ParkResult::Unparked &&
+          Pk->lastBlockedWakeNanos() > 0)
+        recordEvent(Obj, Thread, obs::EventKind::Wake,
+                    Pk->lastBlockedWakeNanos());
+    }
   }
 
   /// One watchdog tick from a blocked lock(): walk the owner graph; on a
@@ -568,6 +656,9 @@ private:
         detectDeadlock(Thread.index(), Obj, Thread.registry(), Monitors);
     if (!Report.hasCycle())
       return;
+    if (obs::tracingEnabled())
+      recordEvent(Obj, Thread, obs::EventKind::Deadlock, 0,
+                  static_cast<uint16_t>(Report.Cycle.size()));
     if (Stats)
       Stats->recordDeadlock();
     if (Options.AbortOnDeadlock)
@@ -582,6 +673,9 @@ private:
     DeadlockReport Detected =
         detectDeadlock(Thread.index(), Obj, Thread.registry(), Monitors);
     if (Detected.hasCycle()) {
+      if (obs::tracingEnabled())
+        recordEvent(Obj, Thread, obs::EventKind::Deadlock, 0,
+                    static_cast<uint16_t>(Detected.Cycle.size()));
       if (Stats)
         Stats->recordDeadlock();
       if (Report)
@@ -599,6 +693,10 @@ private:
     SpinWait Spinner(Options.Spin);
     BlockedOnScope Blocked(Thread, Obj);
     uint64_t ParksAtLastCheck = 0;
+    const bool Tracing = obs::tracingEnabled();
+    const uint64_t TraceT0 = Tracing ? obs::monotonicNanos() : 0;
+    const uint64_t TraceParks =
+        Tracing && Thread.parker() ? Thread.parker()->blockedParkCount() : 0;
     for (;;) {
       uint32_t Value = Word.load(std::memory_order_acquire);
 
@@ -624,6 +722,9 @@ private:
           continue;
         }
         Policy::afterAcquireFence();
+        if (TL_UNLIKELY(Tracing))
+          recordContendedAcquire(Obj, Thread, TraceT0, TraceParks,
+                                 Fat->entryQueueLength());
         if (Stats) {
           Stats->recordFatPath();
           Stats->recordAcquire(Fat->holdCount());
@@ -643,7 +744,8 @@ private:
         }
         // 257th hold: inflate, transferring the 256 existing holds plus
         // this acquisition.
-        FatLock *Fat = inflateOwned(Obj, Thread, Value, Count + 2);
+        FatLock *Fat = inflateOwned(Obj, Thread, Value, Count + 2,
+                                    obs::InflateCause::Overflow);
         (void)Fat;
         if (Stats) {
           Stats->recordOverflowInflation();
@@ -661,7 +763,10 @@ private:
           // §2.3.4: we reached here because another thread held the
           // lock; by the locality-of-contention principle, inflate now
           // so future contention uses the fat lock's queues.
-          inflateOwned(Obj, Thread, Old | Shifted, 1);
+          inflateOwned(Obj, Thread, Old | Shifted, 1,
+                       obs::InflateCause::Contention);
+          if (TL_UNLIKELY(Tracing))
+            recordContendedAcquire(Obj, Thread, TraceT0, TraceParks, 0);
           if (Stats) {
             Stats->recordContentionInflation();
             Stats->recordAcquire(1);
@@ -702,7 +807,8 @@ private:
   /// remains correct, and the event is counted in both the table's
   /// exhaustion counter and LockStats.  See DESIGN.md "Failure modes".
   FatLock *inflateOwned(Object *Obj, const ThreadContext &Thread,
-                        uint32_t CurrentWord, uint32_t Holds) {
+                        uint32_t CurrentWord, uint32_t Holds,
+                        obs::InflateCause Cause) {
     assert(lockword::isThinOwnedBy(CurrentWord, Thread.shiftedIndex()) &&
            "inflating a lock the thread does not own");
     uint32_t Index = Monitors.allocate();
@@ -713,10 +819,14 @@ private:
       Fat->lockMergingCount(Thread, Holds);
       if (Stats)
         Stats->recordEmergencyInflation();
+      Cause = obs::InflateCause::Emergency;
     } else {
       Fat = Monitors.get(Index);
       Fat->lockWithCount(Thread, Holds);
     }
+    if (obs::tracingEnabled())
+      recordEvent(Obj, Thread, obs::EventKind::Inflate,
+                  static_cast<uint64_t>(Cause));
     // Route the monitor's wake-handoff latency samples into our stats.
     Fat->setStatsSink(Stats);
     if (TL_FAILPOINT(ThinLockInflateRace)) {
@@ -741,10 +851,15 @@ private:
       FatLock *Fat = Monitors.resolve(Value);
       if (!Fat->heldBy(Thread))
         return NotifyStatus::NotOwner;
+      uint32_t Morphed;
       if (All)
-        Fat->notifyAll(Thread);
+        Morphed = Fat->notifyAll(Thread);
       else
-        Fat->notify(Thread);
+        Morphed = Fat->notify(Thread) ? 1 : 0;
+      if (obs::tracingEnabled())
+        recordEvent(Obj, Thread,
+                    All ? obs::EventKind::NotifyAll : obs::EventKind::Notify,
+                    0, static_cast<uint16_t>(Morphed));
       return NotifyStatus::Ok;
     }
     // Thin lock: if we own it there can be no waiters, so notify is a

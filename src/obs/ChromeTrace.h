@@ -1,0 +1,54 @@
+//===- obs/ChromeTrace.h - trace_event JSON exporter -----------*- C++ -*-===//
+///
+/// \file
+/// Exports a drained lock-event timeline in the Chrome `trace_event`
+/// JSON format (the `{"traceEvents":[...]}` object form), loadable in
+/// chrome://tracing / Perfetto.  Each thread index becomes one timeline
+/// lane (`tid`); blocking events — contended acquires, lot parks,
+/// Object.wait() — render as complete ("X") duration events spanning
+/// block-to-resume, and the point events — inflate, deflate, notify,
+/// wake, deadlock — as instants ("i"), all with the object address and
+/// class in `args` so lanes can be correlated by lock.
+///
+/// A minimal validating parser rides along: validateChromeTraceJson()
+/// checks both JSON well-formedness and the trace_event schema (the
+/// fields chrome://tracing actually requires), so tests and CI can
+/// assert an emitted artifact will load without needing a browser or a
+/// Python dependency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_OBS_CHROMETRACE_H
+#define THINLOCKS_OBS_CHROMETRACE_H
+
+#include "obs/LockEvents.h"
+
+#include <string>
+#include <vector>
+
+namespace thinlocks {
+
+class ClassRegistry;
+
+namespace obs {
+
+/// Renders \p Events as a Chrome trace_event JSON document.  Timestamps
+/// are rebased to the earliest event start so the viewer opens at t=0.
+/// When \p Classes is non-null, class names are included in event args.
+std::string toChromeTraceJson(const std::vector<LockEvent> &Events,
+                              const ClassRegistry *Classes = nullptr);
+
+/// Validates that \p Json is well-formed JSON *and* matches the
+/// trace_event object-format schema: a top-level object whose
+/// "traceEvents" member is an array of objects, each carrying a string
+/// "name", a one-character string "ph", numeric "ts"/"pid"/"tid", and —
+/// for complete ("X") events — a non-negative numeric "dur".
+/// \returns true on success; on failure fills \p Error (when non-null)
+/// with a description of the first problem.
+bool validateChromeTraceJson(const std::string &Json,
+                             std::string *Error = nullptr);
+
+} // namespace obs
+} // namespace thinlocks
+
+#endif // THINLOCKS_OBS_CHROMETRACE_H

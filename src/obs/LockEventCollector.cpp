@@ -1,0 +1,142 @@
+//===- obs/LockEventCollector.cpp - Ring drain + hot-lock profiler --------===//
+
+#include "obs/LockEventCollector.h"
+
+#include "heap/ClassInfo.h"
+#include "obs/EventRing.h"
+#include "support/TableFormatter.h"
+#include "threads/ThreadRegistry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace thinlocks;
+using namespace thinlocks::obs;
+
+LockEventCollector::LockEventCollector(ThreadRegistry &Registry,
+                                       size_t MaxRetainedEvents)
+    : Registry(Registry), MaxRetainedEvents(MaxRetainedEvents) {}
+
+size_t LockEventCollector::drain() {
+  std::lock_guard<std::mutex> G(Mutex);
+  size_t Consumed = 0;
+  uint64_t RingDropTotal = 0;
+  Registry.forEachEventRing([&](EventRing &Ring) {
+    Consumed += Ring.drain([&](const LockEvent &E) { fold(E); });
+    // This collector is the rings' only drainer, so the cumulative
+    // per-ring drop counts sum to the process-wide total.
+    RingDropTotal += Ring.droppedEvents();
+  });
+  RingDrops = RingDropTotal;
+  return Consumed;
+}
+
+void LockEventCollector::fold(const LockEvent &E) {
+  ++FoldedEvents;
+  if (Retained.size() < MaxRetainedEvents)
+    Retained.push_back(E);
+  else
+    ++RetentionDrops;
+
+  HotLockEntry &Entry = Profile[E.ObjectAddr];
+  Entry.ObjectAddr = E.ObjectAddr;
+  Entry.ClassIndex = E.ClassIndex;
+  switch (E.Kind) {
+  case EventKind::ContendedAcquire:
+    ++Entry.ContendedAcquires;
+    Entry.BlockedNanos += E.Arg;
+    Entry.MaxQueueDepth = std::max<uint64_t>(Entry.MaxQueueDepth, E.Extra);
+    break;
+  case EventKind::Inflate:
+    ++Entry.Inflations;
+    break;
+  case EventKind::Deflate:
+    ++Entry.Deflations;
+    break;
+  case EventKind::Park:
+    ++Entry.Parks;
+    Entry.BlockedNanos += E.Arg;
+    break;
+  case EventKind::Wait:
+    ++Entry.Waits;
+    break;
+  case EventKind::Notify:
+  case EventKind::NotifyAll:
+    ++Entry.Notifies;
+    break;
+  case EventKind::Wake:
+  case EventKind::Deadlock:
+  case EventKind::None:
+    break;
+  }
+}
+
+std::vector<LockEvent> LockEventCollector::events() const {
+  std::lock_guard<std::mutex> G(Mutex);
+  return Retained;
+}
+
+uint64_t LockEventCollector::totalEvents() const {
+  std::lock_guard<std::mutex> G(Mutex);
+  return FoldedEvents;
+}
+
+uint64_t LockEventCollector::droppedEvents() const {
+  std::lock_guard<std::mutex> G(Mutex);
+  return RingDrops + RetentionDrops;
+}
+
+std::vector<HotLockEntry> LockEventCollector::topLocks(size_t N) const {
+  std::lock_guard<std::mutex> G(Mutex);
+  std::vector<HotLockEntry> All;
+  All.reserve(Profile.size());
+  for (const auto &KV : Profile)
+    All.push_back(KV.second);
+  std::sort(All.begin(), All.end(),
+            [](const HotLockEntry &A, const HotLockEntry &B) {
+              if (A.BlockedNanos != B.BlockedNanos)
+                return A.BlockedNanos > B.BlockedNanos;
+              if (A.ContendedAcquires != B.ContendedAcquires)
+                return A.ContendedAcquires > B.ContendedAcquires;
+              if (A.Inflations != B.Inflations)
+                return A.Inflations > B.Inflations;
+              return A.ObjectAddr < B.ObjectAddr;
+            });
+  if (All.size() > N)
+    All.resize(N);
+  return All;
+}
+
+std::string
+LockEventCollector::formatTopLocks(size_t N,
+                                   const ClassRegistry *Classes) const {
+  std::vector<HotLockEntry> Top = topLocks(N);
+  TableFormatter Table({"object", "class", "contended", "inflations",
+                        "parks", "waits", "blocked_us", "max_queue"});
+  for (const HotLockEntry &E : Top) {
+    char Addr[32];
+    std::snprintf(Addr, sizeof(Addr), "0x%llx",
+                  static_cast<unsigned long long>(E.ObjectAddr));
+    std::string ClassName;
+    if (Classes)
+      ClassName = Classes->classAt(E.ClassIndex).Name;
+    else
+      ClassName = "#" + std::to_string(E.ClassIndex);
+    Table.addRow({Addr, ClassName,
+                  TableFormatter::formatWithCommas(E.ContendedAcquires),
+                  TableFormatter::formatWithCommas(E.Inflations),
+                  TableFormatter::formatWithCommas(E.Parks),
+                  TableFormatter::formatWithCommas(E.Waits),
+                  TableFormatter::formatWithCommas(E.BlockedNanos / 1000),
+                  TableFormatter::formatWithCommas(E.MaxQueueDepth)});
+  }
+  return Table.render();
+}
+
+void LockEventCollector::reset() {
+  std::lock_guard<std::mutex> G(Mutex);
+  Retained.clear();
+  Profile.clear();
+  FoldedEvents = 0;
+  RetentionDrops = 0;
+}

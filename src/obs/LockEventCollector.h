@@ -1,0 +1,111 @@
+//===- obs/LockEventCollector.h - Ring drain + hot-lock profiler *- C++ -*-===//
+///
+/// \file
+/// The sampling half of the observability layer: a collector that drains
+/// every thread's EventRing through the registry and folds the events
+/// into (a) a bounded retained timeline for the exporters and (b) a
+/// per-object aggregate — the hot-lock profile.  The paper's locking
+/// characterization says synchronization concentrates on a handful of
+/// hot objects; topLocks() is the table that shows which ones, ranked by
+/// cumulative blocked time (the cost that actually hurts), with acquire
+/// and inflation counts, and the deepest entry queue seen.
+///
+/// drain() may be called from a sampling thread on any cadence, or once
+/// at the end of a run; it serializes itself, so the single-collector
+/// contract of EventRing::drain holds no matter how many threads poke
+/// the collector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_OBS_LOCKEVENTCOLLECTOR_H
+#define THINLOCKS_OBS_LOCKEVENTCOLLECTOR_H
+
+#include "obs/LockEvents.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace thinlocks {
+
+class ClassRegistry;
+class ThreadRegistry;
+
+namespace obs {
+
+/// Aggregated profile of one synchronized object.
+struct HotLockEntry {
+  uint64_t ObjectAddr = 0;
+  uint32_t ClassIndex = 0;
+  uint64_t ContendedAcquires = 0;
+  uint64_t Inflations = 0;
+  uint64_t Deflations = 0;
+  uint64_t Parks = 0;
+  uint64_t Waits = 0;
+  uint64_t Notifies = 0;
+  /// Cumulative nanoseconds threads spent blocked acquiring this object
+  /// (the ContendedAcquire durations).
+  uint64_t BlockedNanos = 0;
+  /// Deepest fat-lock entry queue observed at any acquisition.
+  uint64_t MaxQueueDepth = 0;
+};
+
+class LockEventCollector {
+public:
+  /// \param Registry whose threads' rings to drain.
+  /// \param MaxRetainedEvents cap on the timeline kept for exporters;
+  /// events beyond it still feed the aggregate but are not retained
+  /// (and are counted by droppedEvents()).
+  explicit LockEventCollector(ThreadRegistry &Registry,
+                              size_t MaxRetainedEvents = 1u << 20);
+
+  LockEventCollector(const LockEventCollector &) = delete;
+  LockEventCollector &operator=(const LockEventCollector &) = delete;
+
+  /// Drains every ring once.  Safe from any thread; concurrent calls
+  /// serialize.  \returns the number of events consumed this pass.
+  size_t drain();
+
+  /// \returns a copy of the retained timeline (drain() first for
+  /// freshness), ordered by thread and then by record order.
+  std::vector<LockEvent> events() const;
+
+  /// \returns the total number of events folded into the aggregate.
+  uint64_t totalEvents() const;
+
+  /// \returns events lost to ring overruns plus retention-cap overflow.
+  uint64_t droppedEvents() const;
+
+  /// \returns the top \p N objects by cumulative blocked time (ties
+  /// broken by contended-acquire count, then by inflations).
+  std::vector<HotLockEntry> topLocks(size_t N) const;
+
+  /// Renders topLocks(N) as an aligned text table.  When \p Classes is
+  /// non-null, class indices resolve to names.
+  std::string formatTopLocks(size_t N,
+                             const ClassRegistry *Classes = nullptr) const;
+
+  /// Drops the retained timeline and the aggregate (rings keep their
+  /// cursors: only not-yet-drained events survive a reset).
+  void reset();
+
+private:
+  void fold(const LockEvent &E);
+
+  ThreadRegistry &Registry;
+  const size_t MaxRetainedEvents;
+  mutable std::mutex Mutex;
+  std::vector<LockEvent> Retained;
+  std::unordered_map<uint64_t, HotLockEntry> Profile;
+  uint64_t FoldedEvents = 0;
+  uint64_t RetentionDrops = 0;
+  uint64_t RingDrops = 0;
+};
+
+} // namespace obs
+} // namespace thinlocks
+
+#endif // THINLOCKS_OBS_LOCKEVENTCOLLECTOR_H

@@ -2,6 +2,9 @@
 
 #include "park/ParkingLot.h"
 
+#include "support/FailPoint.h"
+
+#include <thread>
 #include <vector>
 
 using namespace thinlocks;
@@ -52,11 +55,40 @@ ParkingLot::parkImpl(const void *Key, Parker &Pk, bool (*Validate)(void *),
   }
   for (;;) {
     Parker::WakeReason R = HasDeadline ? Pk.parkUntil(Deadline) : Pk.park();
-    std::lock_guard<std::mutex> G(B.Mutex);
+    if (TL_FAILPOINT(ParkingLotTimeoutRace)) {
+      // Hold open the window between waking and re-taking the bucket
+      // mutex so a concurrent unparkOne can capture this node first.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    std::unique_lock<std::mutex> G(B.Mutex);
     if (!Node.Queued) {
-      // A waker dequeued us.  If we got here on a spurious wake its
-      // token may still be in flight; it will surface as one harmless
-      // spurious wake at this thread's next park site.
+      // A waker dequeued us.
+      if (HasDeadline && (R == Parker::WakeReason::TimedOut ||
+                          std::chrono::steady_clock::now() >= Deadline)) {
+        // ...but we were on our way out: the deadline had already
+        // expired when the waker captured this node, so its one wake
+        // landed on a waiter that is abandoning the queue.  Silently
+        // keeping it would strand whoever the waker meant to run next,
+        // so re-issue the wake to the new FIFO head for this key.  The
+        // next node must be *unlinked* here, not merely unparked — an
+        // unparked-but-still-queued waiter with no deadline would
+        // classify the token as spurious and re-sleep forever.
+        Parker *Next = nullptr;
+        for (WaitNode *Cur = B.Head; Cur; Cur = Cur->Next) {
+          if (Cur->Key != Key)
+            continue;
+          Next = Cur->Pk;
+          unlink(B, Cur);
+          break;
+        }
+        G.unlock();
+        if (Next)
+          Next->unpark();
+        return ParkResult::TimedOut;
+      }
+      // If we got here on a spurious wake the waker's token may still
+      // be in flight; it will surface as one harmless spurious wake at
+      // this thread's next park site.
       return ParkResult::Unparked;
     }
     if (HasDeadline && (R == Parker::WakeReason::TimedOut ||

@@ -55,7 +55,11 @@ public:
   enum class ParkResult : uint8_t {
     Invalid,  ///< Validation failed under the bucket lock; never slept.
     Unparked, ///< Dequeued by unparkOne/unparkAll.
-    TimedOut, ///< Deadline passed; the waiter dequeued itself.
+    TimedOut, ///< Deadline passed.  Usually the waiter dequeued itself;
+              ///< if a waker had concurrently captured it, the consumed
+              ///< wake was re-issued to the next queued waiter (so an
+              ///< unparkOne is never silently lost on a timed-out
+              ///< waiter).
   };
 
   ParkingLot() = default;

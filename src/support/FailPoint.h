@@ -48,6 +48,10 @@ enum class Id : uint8_t {
   MonitorTableExhausted,    ///< "monitortable.exhausted": allocate() fails.
   ThreadRegistryExhausted,  ///< "threadregistry.exhausted": attach() fails.
   ParkSpurious,             ///< "park.spurious": Parker::park returns early.
+  ParkingLotTimeoutRace,    ///< "parkinglot.timeout-race": widen the window
+                            ///< between a timed park returning and the waiter
+                            ///< re-acquiring its bucket, so an unparkOne can
+                            ///< capture the timed-out waiter first.
   NumIds,
 };
 

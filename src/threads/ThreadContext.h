@@ -19,6 +19,10 @@ namespace thinlocks {
 class Parker;
 class ThreadRegistry;
 
+namespace obs {
+class EventRing;
+} // namespace obs
+
 /// Identity of an attached thread, as seen by the locking subsystems.
 ///
 /// A ThreadContext is produced by ThreadRegistry::attach() and must be
@@ -30,6 +34,7 @@ class ThreadContext {
 
   ThreadRegistry *Registry = nullptr;
   Parker *Pk = nullptr;
+  obs::EventRing *Ring = nullptr;
   uint16_t Index = 0;
   uint32_t Shifted = 0;
 
@@ -56,6 +61,10 @@ public:
   /// contended path sleeps on (see park/Parker.h).  Owned by the
   /// registry's ThreadInfo; non-null whenever isValid().
   Parker *parker() const { return Pk; }
+
+  /// \returns this thread's lock-event ring (see obs/EventRing.h), also
+  /// owned by the registry's ThreadInfo; non-null whenever isValid().
+  obs::EventRing *eventRing() const { return Ring; }
 };
 
 } // namespace thinlocks

@@ -99,9 +99,20 @@ ThreadContext ThreadRegistry::attach(std::string Name, AttachError *Error) {
   ThreadContext Ctx;
   Ctx.Registry = this;
   Ctx.Pk = &Info->Park;
+  Ctx.Ring = &Info->Events;
   Ctx.Index = Index;
   Ctx.Shifted = static_cast<uint32_t>(Index) << 16;
   return Ctx;
+}
+
+void ThreadRegistry::forEachEventRing(
+    const std::function<void(obs::EventRing &)> &Fn) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  // Storage persists across detach (like the Parkers), so this covers
+  // events recorded by threads that are already gone.
+  for (uint16_t Index = 1; Index < NextFreshIndex; ++Index)
+    if (Storage[Index])
+      Fn(Storage[Index]->Events);
 }
 
 void ThreadRegistry::detach(ThreadContext &Ctx) {

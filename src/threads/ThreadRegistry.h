@@ -25,6 +25,7 @@
 #ifndef THINLOCKS_THREADS_THREADREGISTRY_H
 #define THINLOCKS_THREADS_THREADREGISTRY_H
 
+#include "obs/EventRing.h"
 #include "park/Parker.h"
 #include "threads/ThreadContext.h"
 
@@ -54,6 +55,12 @@ struct ThreadInfo {
   /// the registry, so a straggling unpark() from an abandoned handoff
   /// can never target freed memory even after the thread detaches.
   Parker Park;
+  /// The thread's lock-event ring (obs/EventRing.h).  Registry-lifetime
+  /// like the Parker, so a collector can drain events from threads that
+  /// already detached, and recycled on attach the same way: a fresh
+  /// thread on a recycled index keeps appending to the same storage
+  /// (events self-identify via their embedded thread index).
+  obs::EventRing Events;
 };
 
 /// Why attach() failed to produce a valid context.
@@ -112,6 +119,13 @@ public:
   /// Installs the auditor consulted by detach() and by quarantine
   /// rescans.  Pass nullptr to restore unconditional recycling.
   void setIndexAuditor(IndexAuditor Auditor);
+
+  /// Visits the lock-event ring of every thread index ever attached —
+  /// including currently-detached indices, whose rings may still hold
+  /// undrained events.  Runs under the registry mutex (attach/detach
+  /// block for the duration), so keep \p Fn short; the event collector
+  /// uses this as its drain loop.
+  void forEachEventRing(const std::function<void(obs::EventRing &)> &Fn);
 
   /// \returns the number of currently attached threads.
   uint32_t liveThreadCount() const {

@@ -24,9 +24,12 @@
 #include "support/SplitMix64.h"
 #include "support/Timer.h"
 #include "threads/ThreadContext.h"
+#include "threads/ThreadRegistry.h"
 #include "workload/Profiles.h"
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 namespace thinlocks {
@@ -164,6 +167,82 @@ ReplayResult replayProfile(const BenchmarkProfile &Profile, P &Protocol,
   Result.ElapsedNanos = Watch.elapsedNanos();
   (void)WorkAccumulator;
   return Result;
+}
+
+/// Tuning for replayProfileContended().
+struct ContendedReplayConfig {
+  ReplayConfig Replay;
+  /// Extra threads hammering the shared hot object.
+  unsigned Contenders = 3;
+  /// Large enough that, even on a single-CPU machine where contention
+  /// only arises when the scheduler preempts a holder mid-critical-
+  /// section, each thread spans several scheduling quanta.
+  uint64_t HammerOpsPerThread = 40000;
+  /// replayWork() units while holding the hot lock — long enough that
+  /// contenders actually collide and park.
+  uint32_t WorkPerHold = 64;
+};
+
+/// What replayProfileContended() did beyond the plain replay.
+struct ContendedReplayResult {
+  ReplayResult Replay;
+  /// The deliberately contended object (class "HotShared").  Tracing
+  /// and profiling experiments use it as ground truth: a hot-lock
+  /// report over the run must rank it first.
+  Object *HotObject = nullptr;
+  uint64_t HammerOps = 0;
+};
+
+/// Contended variant for the observability experiments (DESIGN.md §10):
+/// the main thread replays \p Profile exactly as replayProfile() does
+/// while Cfg.Contenders extra registry-attached threads hammer one
+/// shared object of class "HotShared".  The replay population keeps the
+/// profile's single-threaded character; the hot object supplies a known
+/// answer for contention profilers to find.
+template <SyncProtocol P>
+ContendedReplayResult
+replayProfileContended(const BenchmarkProfile &Profile, P &Protocol,
+                       Heap &TheHeap, ThreadRegistry &Registry,
+                       const ThreadContext &MainThread,
+                       const ContendedReplayConfig &Cfg =
+                           ContendedReplayConfig()) {
+  ContendedReplayResult Out;
+  const ClassInfo &HotClass =
+      TheHeap.classes().registerClass("HotShared", /*SlotCount=*/1);
+  Object *Hot = TheHeap.allocate(HotClass);
+  Out.HotObject = Hot;
+
+  std::atomic<uint64_t> Ops{0};
+  // Start gate: without it the hammer loops are short enough that each
+  // thread can finish before the next one is even spawned — serialized
+  // "contenders" that never collide.
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Threads;
+  Threads.reserve(Cfg.Contenders);
+  for (unsigned T = 0; T < Cfg.Contenders; ++T) {
+    Threads.emplace_back([&Protocol, &Registry, &Ops, &Go, &Cfg, Hot, T] {
+      ScopedThreadAttachment Attach(Registry, "hammer");
+      const ThreadContext &Me = Attach.context();
+      if (!Me.isValid())
+        return;
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      uint32_t Acc = T + 1;
+      for (uint64_t I = 0; I < Cfg.HammerOpsPerThread; ++I) {
+        Protocol.lock(Hot, Me);
+        Acc = replayWork(Acc, Cfg.WorkPerHold);
+        Protocol.unlock(Hot, Me);
+      }
+      Ops.fetch_add(Cfg.HammerOpsPerThread, std::memory_order_relaxed);
+    });
+  }
+  Go.store(true, std::memory_order_release);
+  Out.Replay =
+      replayProfile(Profile, Protocol, TheHeap, MainThread, Cfg.Replay);
+  for (std::thread &T : Threads)
+    T.join();
+  Out.HammerOps = Ops.load(std::memory_order_relaxed);
+  return Out;
 }
 
 /// VM-flavoured replay: the same profile, but the synchronization happens

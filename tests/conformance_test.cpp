@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -96,6 +97,41 @@ TYPED_TEST(ConformanceTest, RecursionToDepth300) {
     this->protocol().unlock(Obj, this->Main);
     EXPECT_EQ(this->protocol().lockDepth(Obj, this->Main), I - 1);
   }
+}
+
+TYPED_TEST(ConformanceTest, ContenderExcludedAtNestingBoundary) {
+  // Pins the count-overflow boundary (256 holds stay thin; the 257th
+  // inflates for ThinLock) as a pure semantics claim, so it must hold
+  // for every protocol and under failpoint injection: however the
+  // representation changes at the boundary, a contender stays excluded
+  // until the owner has fully unwound all 257 holds.
+  Object *Obj = this->newObject();
+  for (uint32_t I = 1; I <= 257; ++I) {
+    this->protocol().lock(Obj, this->Main);
+    EXPECT_EQ(this->protocol().lockDepth(Obj, this->Main), I);
+  }
+  std::atomic<bool> Acquired{false};
+  std::thread Contender([&] {
+    ScopedThreadAttachment Attachment(this->Registry, "contender");
+    this->protocol().lock(Obj, Attachment.context());
+    Acquired.store(true, std::memory_order_release);
+    this->protocol().unlock(Obj, Attachment.context());
+  });
+  for (uint32_t I = 257; I >= 1; --I) {
+    // Exclusion makes this deterministic: Acquired can only flip once
+    // every hold is gone, so a mis-counted unlock anywhere in the
+    // unwind (the off-by-one shapes the boundary invites) trips it.
+    EXPECT_FALSE(Acquired.load(std::memory_order_acquire));
+    EXPECT_EQ(this->protocol().lockDepth(Obj, this->Main), I);
+    this->protocol().unlock(Obj, this->Main);
+    // Dwell just after crossing the inflation boundary and just before
+    // the final release, where a premature handoff would surface.
+    if (I == 257 || I == 256 || I == 2)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  Contender.join();
+  EXPECT_TRUE(Acquired.load(std::memory_order_acquire));
+  EXPECT_FALSE(this->protocol().holdsLock(Obj, this->Main));
 }
 
 TYPED_TEST(ConformanceTest, UnlockCheckedOnUnownedFails) {

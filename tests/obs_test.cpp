@@ -1,0 +1,344 @@
+//===- tests/obs_test.cpp - Lock-event observability tests ----------------===//
+//
+// Covers the obs layer end to end: event word packing, EventRing
+// wraparound and torn-slot discipline, ring recycling across thread
+// detach/attach, the tracing-off guarantee (no events recorded, ever),
+// the hot-lock profiler's ranking, and the Chrome trace exporter round-
+// tripping through its own schema validator (plus the validator's
+// rejection cases).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/ChromeTrace.h"
+#include "obs/EventRing.h"
+#include "obs/LockEventCollector.h"
+
+#include "core/ThinLock.h"
+#include "heap/Heap.h"
+#include "threads/ThreadRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace thinlocks;
+
+namespace {
+
+/// Builds a ContendedAcquire event (the fully-populated kind).
+obs::LockEvent contendedEvent(uint64_t Addr, uint16_t Tid, uint64_t Time,
+                              uint64_t BlockedNanos, uint16_t QueueDepth,
+                              uint32_t ClassIndex = 0) {
+  obs::LockEvent E;
+  E.Kind = obs::EventKind::ContendedAcquire;
+  E.ObjectAddr = Addr;
+  E.ThreadIndex = Tid;
+  E.TimeNanos = Time;
+  E.Arg = BlockedNanos;
+  E.Extra = QueueDepth;
+  E.ClassIndex = ClassIndex;
+  return E;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Event packing
+//===----------------------------------------------------------------------===//
+
+TEST(LockEventTest, PackMetaRoundTrips) {
+  uint64_t Meta = obs::LockEvent::packMeta(obs::EventKind::Wait,
+                                           /*ThreadIndex=*/32767,
+                                           /*ClassIndex=*/0xABCDEF,
+                                           /*Extra=*/0xBEEF);
+  obs::LockEvent E = obs::LockEvent::unpack(123, 456, Meta, 789);
+  EXPECT_EQ(E.Kind, obs::EventKind::Wait);
+  EXPECT_EQ(E.ThreadIndex, 32767u);
+  EXPECT_EQ(E.ClassIndex, 0xABCDEFu);
+  EXPECT_EQ(E.Extra, 0xBEEFu);
+  EXPECT_EQ(E.TimeNanos, 123u);
+  EXPECT_EQ(E.ObjectAddr, 456u);
+  EXPECT_EQ(E.Arg, 789u);
+}
+
+TEST(LockEventTest, ClassIndexTruncatesTo24Bits) {
+  uint64_t Meta = obs::LockEvent::packMeta(obs::EventKind::Inflate, 1,
+                                           0xFF123456u, 0);
+  EXPECT_EQ(obs::LockEvent::unpack(0, 0, Meta, 0).ClassIndex, 0x123456u);
+}
+
+TEST(LockEventTest, KindAndCauseNamesAreStable) {
+  EXPECT_STREQ(obs::eventKindName(obs::EventKind::ContendedAcquire),
+               "contended-acquire");
+  EXPECT_STREQ(obs::inflateCauseName(obs::InflateCause::Overflow),
+               "overflow");
+}
+
+//===----------------------------------------------------------------------===//
+// EventRing
+//===----------------------------------------------------------------------===//
+
+TEST(EventRingTest, DeliversRecordedEventsInOrder) {
+  obs::EventRing Ring(/*Capacity=*/16);
+  for (uint64_t I = 0; I < 5; ++I)
+    Ring.record(contendedEvent(0x1000 + I, 1, /*Time=*/I, /*Blocked=*/I, 0));
+  std::vector<obs::LockEvent> Seen;
+  EXPECT_EQ(Ring.drain([&](const obs::LockEvent &E) { Seen.push_back(E); }),
+            5u);
+  ASSERT_EQ(Seen.size(), 5u);
+  for (uint64_t I = 0; I < 5; ++I)
+    EXPECT_EQ(Seen[I].ObjectAddr, 0x1000 + I);
+  EXPECT_EQ(Ring.droppedEvents(), 0u);
+}
+
+TEST(EventRingTest, WraparoundKeepsNewestAndCountsDropped) {
+  obs::EventRing Ring(/*Capacity=*/8);
+  for (uint64_t I = 0; I < 20; ++I)
+    Ring.record(contendedEvent(/*Addr=*/I, 1, I, 0, 0));
+  std::vector<obs::LockEvent> Seen;
+  EXPECT_EQ(Ring.drain([&](const obs::LockEvent &E) { Seen.push_back(E); }),
+            8u);
+  // The writer lapped the reader 12 events ago; the newest 8 survive.
+  ASSERT_EQ(Seen.size(), 8u);
+  for (uint64_t I = 0; I < 8; ++I)
+    EXPECT_EQ(Seen[I].ObjectAddr, 12 + I);
+  EXPECT_EQ(Ring.droppedEvents(), 12u);
+  EXPECT_EQ(Ring.recordedEvents(), 20u);
+}
+
+TEST(EventRingTest, SecondDrainDeliversOnlyNewEvents) {
+  obs::EventRing Ring(/*Capacity=*/16);
+  Ring.record(contendedEvent(1, 1, 1, 0, 0));
+  Ring.record(contendedEvent(2, 1, 2, 0, 0));
+  size_t First = Ring.drain([](const obs::LockEvent &) {});
+  EXPECT_EQ(First, 2u);
+  Ring.record(contendedEvent(3, 1, 3, 0, 0));
+  std::vector<obs::LockEvent> Seen;
+  EXPECT_EQ(Ring.drain([&](const obs::LockEvent &E) { Seen.push_back(E); }),
+            1u);
+  ASSERT_EQ(Seen.size(), 1u);
+  EXPECT_EQ(Seen[0].ObjectAddr, 3u);
+}
+
+TEST(EventRingTest, EmptyRingNeverAllocatesAndDrainsNothing) {
+  obs::EventRing Ring;
+  EXPECT_EQ(Ring.drain([](const obs::LockEvent &) { FAIL(); }), 0u);
+  EXPECT_EQ(Ring.recordedEvents(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Ring recycling through the registry
+//===----------------------------------------------------------------------===//
+
+TEST(ObsRegistryTest, RecycledIndexReusesRingAndKeepsOldEvents) {
+  ThreadRegistry Registry;
+  obs::LockEventCollector Collector(Registry);
+
+  ThreadContext First = Registry.attach("first");
+  uint16_t Index = First.index();
+  obs::EventRing *Ring = First.eventRing();
+  ASSERT_NE(Ring, nullptr);
+  Ring->record(contendedEvent(0xAAAA, First.index(), 1, 10, 0));
+  Registry.detach(First);
+
+  // LIFO recycling hands the same index — and therefore the same ring —
+  // to the next attacher; the detached thread's events stay drainable
+  // and self-identify via their embedded thread index.
+  ThreadContext Second = Registry.attach("second");
+  EXPECT_EQ(Second.index(), Index);
+  EXPECT_EQ(Second.eventRing(), Ring);
+  Second.eventRing()->record(
+      contendedEvent(0xBBBB, Second.index(), 2, 20, 0));
+  Registry.detach(Second);
+
+  EXPECT_EQ(Collector.drain(), 2u);
+  std::vector<obs::LockEvent> Events = Collector.events();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].ObjectAddr, 0xAAAAu);
+  EXPECT_EQ(Events[1].ObjectAddr, 0xBBBBu);
+  EXPECT_EQ(Events[0].ThreadIndex, Index);
+  EXPECT_EQ(Events[1].ThreadIndex, Index);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing-off guarantee
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTracingTest, EventsOffModeRecordsNothing) {
+  obs::setTracing(false);
+  ThreadRegistry Registry;
+  MonitorTable Monitors;
+  ThinLockManager Locks(Monitors);
+  Heap TheHeap;
+  obs::LockEventCollector Collector(Registry);
+  const ClassInfo &Class = TheHeap.classes().registerClass("Quiet", 0);
+
+  ThreadContext Main = Registry.attach("main");
+  // Exercise inflating paths (count overflow, a wait, a contender) with
+  // tracing off: nothing may reach any ring.
+  Object *Obj = TheHeap.allocate(Class);
+  for (int I = 0; I < 257; ++I)
+    Locks.lock(Obj, Main);
+  for (int I = 0; I < 257; ++I)
+    Locks.unlock(Obj, Main);
+  EXPECT_TRUE(Locks.isInflated(Obj));
+  std::thread Contender([&] {
+    ScopedThreadAttachment Attachment(Registry, "contender");
+    Locks.lock(Obj, Attachment.context());
+    Locks.unlock(Obj, Attachment.context());
+  });
+  Contender.join();
+  Registry.detach(Main);
+
+  EXPECT_EQ(Collector.drain(), 0u);
+  EXPECT_EQ(Collector.totalEvents(), 0u);
+  EXPECT_EQ(Collector.droppedEvents(), 0u);
+
+  // Flip tracing on: the same overflow path now emits an Inflate.
+  obs::setTracing(true);
+  ThreadContext Again = Registry.attach("again");
+  Object *Loud = TheHeap.allocate(Class);
+  for (int I = 0; I < 257; ++I)
+    Locks.lock(Loud, Again);
+  for (int I = 0; I < 257; ++I)
+    Locks.unlock(Loud, Again);
+  Registry.detach(Again);
+  obs::setTracing(false);
+
+  EXPECT_GE(Collector.drain(), 1u);
+  bool SawInflate = false;
+  for (const obs::LockEvent &E : Collector.events())
+    if (E.Kind == obs::EventKind::Inflate &&
+        E.ObjectAddr == reinterpret_cast<uint64_t>(Loud)) {
+      SawInflate = true;
+      EXPECT_EQ(E.Arg,
+                static_cast<uint64_t>(obs::InflateCause::Overflow));
+    }
+  EXPECT_TRUE(SawInflate);
+}
+
+//===----------------------------------------------------------------------===//
+// Hot-lock profiler
+//===----------------------------------------------------------------------===//
+
+TEST(ObsCollectorTest, TopLocksRanksByBlockedTime) {
+  ThreadRegistry Registry;
+  obs::LockEventCollector Collector(Registry);
+  ThreadContext Main = Registry.attach("main");
+  obs::EventRing *Ring = Main.eventRing();
+
+  // 0x2000 blocks longest (one big stall); 0x1000 is acquired more
+  // often but cheaply; 0x3000 only parks.
+  Ring->record(contendedEvent(0x1000, Main.index(), 1, 100, 1));
+  Ring->record(contendedEvent(0x1000, Main.index(), 2, 100, 3));
+  Ring->record(contendedEvent(0x1000, Main.index(), 3, 100, 2));
+  Ring->record(contendedEvent(0x2000, Main.index(), 4, 90000, 7));
+  obs::LockEvent Park;
+  Park.Kind = obs::EventKind::Park;
+  Park.ObjectAddr = 0x3000;
+  Park.ThreadIndex = Main.index();
+  Park.Arg = 50;
+  Ring->record(Park);
+  Registry.detach(Main);
+
+  EXPECT_EQ(Collector.drain(), 5u);
+  std::vector<obs::HotLockEntry> Top = Collector.topLocks(3);
+  ASSERT_EQ(Top.size(), 3u);
+  EXPECT_EQ(Top[0].ObjectAddr, 0x2000u);
+  EXPECT_EQ(Top[0].BlockedNanos, 90000u);
+  EXPECT_EQ(Top[0].MaxQueueDepth, 7u);
+  EXPECT_EQ(Top[1].ObjectAddr, 0x1000u);
+  EXPECT_EQ(Top[1].ContendedAcquires, 3u);
+  EXPECT_EQ(Top[1].MaxQueueDepth, 3u);
+  EXPECT_EQ(Top[2].ObjectAddr, 0x3000u);
+  EXPECT_EQ(Top[2].Parks, 1u);
+
+  std::string Table = Collector.formatTopLocks(3);
+  EXPECT_NE(Table.find("0x2000"), std::string::npos);
+  EXPECT_NE(Table.find("blocked_us"), std::string::npos);
+}
+
+TEST(ObsCollectorTest, RetentionCapFeedsAggregateButDropsTimeline) {
+  ThreadRegistry Registry;
+  obs::LockEventCollector Collector(Registry, /*MaxRetainedEvents=*/4);
+  ThreadContext Main = Registry.attach("main");
+  for (uint64_t I = 0; I < 10; ++I)
+    Main.eventRing()->record(
+        contendedEvent(0x4000, Main.index(), I, 10, 0));
+  Registry.detach(Main);
+
+  EXPECT_EQ(Collector.drain(), 10u);
+  EXPECT_EQ(Collector.events().size(), 4u);
+  EXPECT_EQ(Collector.totalEvents(), 10u);
+  EXPECT_EQ(Collector.droppedEvents(), 6u);
+  std::vector<obs::HotLockEntry> Top = Collector.topLocks(1);
+  ASSERT_EQ(Top.size(), 1u);
+  // The aggregate saw all ten even though the timeline kept four.
+  EXPECT_EQ(Top[0].ContendedAcquires, 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace exporter + validator
+//===----------------------------------------------------------------------===//
+
+TEST(ChromeTraceTest, ExportedTraceRoundTripsThroughValidator) {
+  std::vector<obs::LockEvent> Events;
+  Events.push_back(contendedEvent(0x1000, 2, /*Time=*/5000, /*Blocked=*/3000,
+                                  /*Queue=*/2));
+  obs::LockEvent Inflate;
+  Inflate.Kind = obs::EventKind::Inflate;
+  Inflate.ObjectAddr = 0x1000;
+  Inflate.ThreadIndex = 2;
+  Inflate.TimeNanos = 6000;
+  Inflate.Arg = static_cast<uint64_t>(obs::InflateCause::Contention);
+  Events.push_back(Inflate);
+  obs::LockEvent Park;
+  Park.Kind = obs::EventKind::Park;
+  Park.ObjectAddr = 0x1000;
+  Park.ThreadIndex = 3;
+  Park.TimeNanos = 9000;
+  Park.Arg = 2500;
+  Events.push_back(Park);
+
+  std::string Json = obs::toChromeTraceJson(Events);
+  std::string Error;
+  EXPECT_TRUE(obs::validateChromeTraceJson(Json, &Error)) << Error;
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("contended-acquire"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyTraceIsValid) {
+  std::string Json = obs::toChromeTraceJson({});
+  std::string Error;
+  EXPECT_TRUE(obs::validateChromeTraceJson(Json, &Error)) << Error;
+}
+
+TEST(ChromeTraceTest, ValidatorRejectsMalformedInput) {
+  std::string Error;
+  // Truncated JSON.
+  EXPECT_FALSE(obs::validateChromeTraceJson("{\"traceEvents\":[", &Error));
+  // Parses, but the top level must be an object.
+  EXPECT_FALSE(obs::validateChromeTraceJson("[]", &Error));
+  // Missing traceEvents.
+  EXPECT_FALSE(obs::validateChromeTraceJson("{}", &Error));
+  // Event records need a numeric ts and a one-char ph.
+  EXPECT_FALSE(obs::validateChromeTraceJson(
+      "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"XX\",\"ts\":0,"
+      "\"pid\":1,\"tid\":1}]}",
+      &Error));
+  EXPECT_FALSE(obs::validateChromeTraceJson(
+      "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"i\",\"ts\":\"no\","
+      "\"pid\":1,\"tid\":1}]}",
+      &Error));
+  // "X" duration events require a non-negative dur.
+  EXPECT_FALSE(obs::validateChromeTraceJson(
+      "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0,"
+      "\"pid\":1,\"tid\":1,\"dur\":-4}]}",
+      &Error));
+  // Trailing garbage after a valid document.
+  EXPECT_FALSE(
+      obs::validateChromeTraceJson("{\"traceEvents\":[]} trailing", &Error));
+}

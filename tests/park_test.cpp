@@ -466,3 +466,63 @@ TEST_F(ParkSpuriousTest, WaitNotifySurvivesSpuriousInjection) {
   EXPECT_GE(failpoint::hitCount(failpoint::Id::ParkSpurious), 1u);
   Registry.detach(Main);
 }
+
+//===----------------------------------------------------------------------===//
+// parkinglot.timeout-race: a consumed wake is re-issued (chain wake)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ParkingLotTimeoutRaceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!failpoint::compiledIn())
+      GTEST_SKIP() << "failpoint sites not compiled in";
+    failpoint::disarmAll();
+  }
+  void TearDown() override { failpoint::disarmAll(); }
+};
+
+} // namespace
+
+// Regression: a waiter that timed out while an unparkOne had already
+// captured (dequeued) it consumed that wake silently — the waiter the
+// waker actually meant to run next slept forever.  The fix re-issues
+// the consumed wake to the next queued waiter on the same key.  The
+// failpoint holds the window between A's parkUntil returning and A
+// re-taking its bucket mutex open for 20ms, so the capture lands inside
+// it deterministically.  Without the fix, B is stranded and B.join()
+// hangs until the suite timeout.
+TEST_F(ParkingLotTimeoutRaceTest, TimedOutWaiterReissuesConsumedWake) {
+  failpoint::arm(failpoint::Id::ParkingLotTimeoutRace,
+                 failpoint::Mode::Always);
+  ParkingLot Lot;
+  int Key = 0;
+  Parker PA, PB; // Must outlive in-flight unparks.
+  const auto DeadlineA = std::chrono::steady_clock::now() + 100ms;
+  std::atomic<int> ResultA{-1}, ResultB{-1};
+  std::thread A([&] {
+    ResultA = static_cast<int>(
+        Lot.parkUntil(&Key, PA, [] { return true; }, DeadlineA));
+  });
+  waitFor([&] { return Lot.queuedOn(&Key) == 1; });
+  std::thread B([&] {
+    ResultB = static_cast<int>(Lot.park(&Key, PB, [] { return true; }));
+  });
+  waitFor([&] { return Lot.queuedOn(&Key) == 2; });
+  // Aim the wake at the widened window: just after A's deadline, while
+  // A is still on its way back to the bucket.  (If the unpark instead
+  // lands while A is still in the kernel, A returns Unparked with its
+  // deadline expired — the same re-issue branch runs; the test holds
+  // under either interleaving.)
+  std::this_thread::sleep_until(DeadlineA + 5ms);
+  EXPECT_EQ(Lot.unparkOne(&Key), 1u);
+  A.join();
+  B.join(); // Hangs without the chain wake.
+  EXPECT_EQ(ResultA.load(),
+            static_cast<int>(ParkingLot::ParkResult::TimedOut));
+  EXPECT_EQ(ResultB.load(),
+            static_cast<int>(ParkingLot::ParkResult::Unparked));
+  EXPECT_EQ(Lot.queuedOn(&Key), 0u);
+  EXPECT_GE(failpoint::hitCount(failpoint::Id::ParkingLotTimeoutRace), 1u);
+}

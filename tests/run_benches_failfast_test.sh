@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+#===- tests/run_benches_failfast_test.sh - fail-fast regression ---------===#
+#
+# Regression test for bench/run_benches.sh's failure discipline, run
+# against stub benchmark binaries in a sandbox (no real benches needed).
+#
+# The bug this pins down: the old script ignored suite exit codes and
+# merged each trajectory file directly over the committed copy as it
+# went, so a crash or malformed JSON in a *contention* suite left
+# BENCH_fastpath.json half-regenerated while BENCH_contention.json kept
+# the previous run — a torn, unpublishable trajectory.  The script must
+# now (a) propagate non-zero suite exits, (b) fail on malformed suite
+# JSON, and in both cases (c) leave every prior BENCH_*.json
+# bit-for-bit untouched.
+#
+#===----------------------------------------------------------------------===#
+set -u
+
+SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
+RUN_BENCHES="$SCRIPT_DIR/../bench/run_benches.sh"
+[ -f "$RUN_BENCHES" ] || { echo "FAIL: $RUN_BENCHES not found" >&2; exit 1; }
+
+SANDBOX="$(mktemp -d)"
+trap 'rm -rf "$SANDBOX"' EXIT
+
+Failures=0
+fail() { echo "FAIL: $*" >&2; Failures=$((Failures + 1)); }
+pass() { echo "ok: $*" >&2; }
+
+# Builds a fresh stub build tree.  Each stub understands just enough of
+# the google-benchmark CLI to honor --benchmark_out=PATH; per-suite
+# behavior is scripted via marker files in the sandbox:
+#   $SANDBOX/exitcode.<suite>   -> stub exits with this status
+#   $SANDBOX/garbage.<suite>    -> stub writes non-JSON output
+make_build_tree() {
+  local Build="$1"
+  mkdir -p "$Build/bench"
+  local Suite
+  for Suite in bench_fastpath bench_inflation_storm bench_wakeup; do
+    cat >"$Build/bench/$Suite" <<STUB
+#!/usr/bin/env bash
+Out=""
+for Arg in "\$@"; do
+  case "\$Arg" in --benchmark_out=*) Out="\${Arg#--benchmark_out=}" ;; esac
+done
+if [ -f "$SANDBOX/garbage.$Suite" ]; then
+  echo "this is not json {" > "\$Out"
+else
+  printf '{"context":{"executable":"%s"},"benchmarks":[{"name":"%s/op","real_time":1.0}]}\n' \
+    "$Suite" "$Suite" > "\$Out"
+fi
+if [ -f "$SANDBOX/exitcode.$Suite" ]; then
+  exit "\$(cat "$SANDBOX/exitcode.$Suite")"
+fi
+exit 0
+STUB
+    chmod +x "$Build/bench/$Suite"
+  done
+}
+
+# Seeds the output dir with sentinel trajectory files whose bytes must
+# survive any failed run.
+seed_sentinels() {
+  local Out="$1"
+  mkdir -p "$Out"
+  echo '{"sentinel":"fastpath"}' >"$Out/BENCH_fastpath.json"
+  echo '{"sentinel":"contention"}' >"$Out/BENCH_contention.json"
+}
+
+sentinels_untouched() {
+  local Out="$1"
+  [ "$(cat "$Out/BENCH_fastpath.json")" = '{"sentinel":"fastpath"}' ] &&
+    [ "$(cat "$Out/BENCH_contention.json")" = '{"sentinel":"contention"}' ]
+}
+
+BUILD="$SANDBOX/build"
+make_build_tree "$BUILD"
+
+#--- Scenario A: a suite exits non-zero -> script propagates it ----------#
+OUT_A="$SANDBOX/out-a"
+seed_sentinels "$OUT_A"
+echo 3 >"$SANDBOX/exitcode.bench_inflation_storm"
+BENCH_OUT_DIR="$OUT_A" bash "$RUN_BENCHES" "$BUILD" >/dev/null 2>&1
+Status=$?
+rm -f "$SANDBOX/exitcode.bench_inflation_storm"
+if [ "$Status" -eq 0 ]; then
+  fail "scenario A: crashing suite did not fail the script"
+else
+  pass "scenario A: crashing suite propagated exit status $Status"
+fi
+if sentinels_untouched "$OUT_A"; then
+  pass "scenario A: committed BENCH_*.json untouched after suite crash"
+else
+  fail "scenario A: a BENCH_*.json was clobbered by a failed run"
+fi
+
+#--- Scenario B: malformed contention JSON -> no partial publish ---------#
+# The historical regression: bench_fastpath succeeds and used to be
+# written out before the contention merge discovered the garbage.
+OUT_B="$SANDBOX/out-b"
+seed_sentinels "$OUT_B"
+touch "$SANDBOX/garbage.bench_wakeup"
+BENCH_OUT_DIR="$OUT_B" bash "$RUN_BENCHES" "$BUILD" >/dev/null 2>&1
+Status=$?
+rm -f "$SANDBOX/garbage.bench_wakeup"
+if [ "$Status" -eq 0 ]; then
+  fail "scenario B: malformed suite JSON did not fail the script"
+else
+  pass "scenario B: malformed suite JSON failed the script (status $Status)"
+fi
+if sentinels_untouched "$OUT_B"; then
+  pass "scenario B: no partial publish (fastpath sentinel survived)"
+else
+  fail "scenario B: partial publish — fastpath was overwritten before the contention merge failed"
+fi
+
+#--- Scenario C: happy path -> both files regenerated together -----------#
+OUT_C="$SANDBOX/out-c"
+seed_sentinels "$OUT_C"
+if BENCH_OUT_DIR="$OUT_C" bash "$RUN_BENCHES" "$BUILD" >/dev/null 2>&1; then
+  pass "scenario C: clean run exits zero"
+else
+  fail "scenario C: clean run failed"
+fi
+if grep -q '"suite": "bench_fastpath"' "$OUT_C/BENCH_fastpath.json" &&
+   grep -q '"suite": "bench_wakeup"' "$OUT_C/BENCH_contention.json" &&
+   ! grep -q sentinel "$OUT_C/BENCH_fastpath.json" &&
+   ! grep -q sentinel "$OUT_C/BENCH_contention.json"; then
+  pass "scenario C: both trajectory files regenerated"
+else
+  fail "scenario C: trajectory files not regenerated as expected"
+fi
+
+#--- Scenario D: BENCH_TRACE=1 without macro_trace built -> hard error ---#
+OUT_D="$SANDBOX/out-d"
+seed_sentinels "$OUT_D"
+if BENCH_OUT_DIR="$OUT_D" BENCH_TRACE=1 bash "$RUN_BENCHES" "$BUILD" \
+     >/dev/null 2>&1; then
+  fail "scenario D: missing macro_trace did not fail BENCH_TRACE run"
+else
+  pass "scenario D: missing macro_trace fails BENCH_TRACE run"
+fi
+if sentinels_untouched "$OUT_D"; then
+  pass "scenario D: committed BENCH_*.json untouched"
+else
+  fail "scenario D: BENCH_*.json clobbered despite trace failure"
+fi
+
+if [ "$Failures" -ne 0 ]; then
+  echo "$Failures scenario check(s) failed" >&2
+  exit 1
+fi
+echo "all run_benches fail-fast scenarios passed"

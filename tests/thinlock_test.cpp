@@ -118,6 +118,29 @@ TYPED_TEST(ThinLockTypedTest, The257thHoldInflates) {
   EXPECT_TRUE(this->Locks.isInflated(Obj));
 }
 
+TYPED_TEST(ThinLockTypedTest, TryLockNests256ThenInflatesOn257th) {
+  // Regression: tryLock used to refuse the owner's 257th recursive
+  // acquisition (the count field saturated at 255 = 256 holds) instead
+  // of inflating the way lock() does at the same boundary — recursion
+  // depth 257 made tryLock spuriously fail for its own owner.
+  Object *Obj = this->newObject();
+  for (int I = 0; I < 256; ++I)
+    ASSERT_TRUE(this->Locks.tryLock(Obj, this->Main));
+  EXPECT_FALSE(this->Locks.isInflated(Obj));
+  EXPECT_EQ(lockword::countOf(Obj->lockWord().load()), 255u);
+  uint64_t OverflowBefore = this->Stats.overflowInflations();
+  EXPECT_TRUE(this->Locks.tryLock(Obj, this->Main));
+  EXPECT_TRUE(this->Locks.isInflated(Obj));
+  EXPECT_EQ(this->Locks.lockDepth(Obj, this->Main), 257u);
+  FatLock *Fat = this->Locks.monitorOf(Obj);
+  ASSERT_NE(Fat, nullptr);
+  EXPECT_EQ(Fat->holdCount(), 257u);
+  EXPECT_EQ(this->Stats.overflowInflations(), OverflowBefore + 1);
+  for (int I = 0; I < 257; ++I)
+    this->Locks.unlock(Obj, this->Main);
+  EXPECT_FALSE(this->Locks.holdsLock(Obj, this->Main));
+}
+
 TYPED_TEST(ThinLockTypedTest, InflationPreservesHeaderBits) {
   Object *Obj = this->newObject();
   uint32_t Header = Obj->headerBits();
