@@ -48,7 +48,7 @@ LockStats::Snapshot LockStats::rawSnapshot() const {
 
 LockStats::Snapshot LockStats::snapshot() const {
   Snapshot S = rawSnapshot();
-  std::lock_guard<std::mutex> Guard(BaselineMutex);
+  LockGuard Guard(BaselineMutex);
   S.Acquisitions = minus(S.Acquisitions, Baseline.Acquisitions);
   S.Releases = minus(S.Releases, Baseline.Releases);
   S.FastPath = minus(S.FastPath, Baseline.FastPath);
@@ -95,7 +95,7 @@ void LockStats::reset() {
   // would mix pre- and post-wipe stripe values); just move the
   // baseline forward.  See the header comment on reset().
   Snapshot Raw = rawSnapshot();
-  std::lock_guard<std::mutex> Guard(BaselineMutex);
+  LockGuard Guard(BaselineMutex);
   Baseline = Raw;
   WakeNanosMax.store(0, std::memory_order_relaxed);
 }

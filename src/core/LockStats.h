@@ -20,12 +20,12 @@
 #define THINLOCKS_CORE_LOCKSTATS_H
 
 #include "support/MathExtras.h"
+#include "support/Mutex.h"
 #include "support/StatsCounter.h"
 
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 namespace thinlocks {
@@ -133,7 +133,7 @@ public:
 
   /// Reads every counter once into a coherent copy, relative to the
   /// last reset() epoch.
-  Snapshot snapshot() const;
+  Snapshot snapshot() const TL_EXCLUDES(BaselineMutex);
 
   uint64_t totalAcquisitions() const { return snapshot().Acquisitions; }
   uint64_t totalReleases() const { return snapshot().Releases; }
@@ -185,7 +185,7 @@ public:
   /// baseline snapshot under a mutex and snapshot() subtracts it, so a
   /// reset racing concurrent recording and snapshotting yields only the
   /// usual in-flight slack, never torn totals.
-  void reset();
+  void reset() TL_EXCLUDES(BaselineMutex);
 
   /// Renders a human-readable multi-line summary.
   std::string summary() const;
@@ -212,8 +212,8 @@ private:
   /// The raw-counter values at the last reset(); subtracted from every
   /// raw snapshot.  Guarded by BaselineMutex (reset/snapshot only — the
   /// recording hot paths never touch it).
-  mutable std::mutex BaselineMutex;
-  Snapshot Baseline;
+  mutable Mutex BaselineMutex;
+  Snapshot Baseline TL_GUARDED_BY(BaselineMutex);
 };
 
 } // namespace thinlocks

@@ -62,6 +62,17 @@
 #include <cstdint>
 #include <thread>
 
+#if defined(THINLOCKS_FASTPATH_GUARD_PROBE)
+/// Negative-test seam for tools/lint/fastpath_guard.py: an opaque
+/// external call compiled into the lock/unlock fast path so the guard
+/// demonstrably fails on an object built with this macro (see
+/// tests/fastpath_guard_test.sh).  Never defined in real builds.
+extern "C" void thinlocksGuardProbeExternalCall();
+#define TL_FASTPATH_GUARD_PROBE() thinlocksGuardProbeExternalCall()
+#else
+#define TL_FASTPATH_GUARD_PROBE() ((void)0)
+#endif
+
 namespace thinlocks {
 
 /// Whether inflated locks may be deflated back to thin.
@@ -133,6 +144,7 @@ public:
   /// held).  The paper's 17-instruction fast path is the inline portion.
   TL_ALWAYS_INLINE void lock(Object *Obj, const ThreadContext &Thread) {
     assert(Thread.isValid() && "locking with an unattached thread");
+    TL_FASTPATH_GUARD_PROBE();
     std::atomic<uint32_t> &Word = Obj->lockWord();
     // Old value per §2.3.1: load the lock word and mask to the header
     // bits — i.e. guess "unlocked".
@@ -172,6 +184,7 @@ public:
   /// Releases one hold of \p Obj's monitor.  Asserts ownership; the VM
   /// uses unlockChecked() instead to surface IllegalMonitorState.
   TL_ALWAYS_INLINE void unlock(Object *Obj, const ThreadContext &Thread) {
+    TL_FASTPATH_GUARD_PROBE();
     std::atomic<uint32_t> &Word = Obj->lockWord();
     uint32_t Value = Word.load(std::memory_order_relaxed);
     uint32_t Shifted = Thread.shiftedIndex();

@@ -48,7 +48,7 @@ void FatLock::grantTo(EntryNode *Node, uint16_t Index) {
   recordWakeLatency(Node->Pk);
 }
 
-void FatLock::acquireSlow(std::unique_lock<std::mutex> &Guard,
+void FatLock::acquireSlow(UniqueLock &Guard,
                           const ThreadContext &Thread) {
   if (Owner == 0 && EntryHead == nullptr) {
     Owner = Thread.index();
@@ -70,7 +70,7 @@ void FatLock::acquireSlow(std::unique_lock<std::mutex> &Guard,
 
 void FatLock::lock(const ThreadContext &Thread) {
   assert(Thread.isValid() && "locking with an unattached thread");
-  std::unique_lock<std::mutex> Guard(Mutex);
+  UniqueLock Guard(Mu);
   assert(!Retired && "locking a retired (deflated) monitor");
   ++Counters.Acquisitions;
   if (Owner == Thread.index()) {
@@ -83,7 +83,7 @@ void FatLock::lock(const ThreadContext &Thread) {
 
 bool FatLock::lockIfLive(const ThreadContext &Thread) {
   assert(Thread.isValid() && "locking with an unattached thread");
-  std::unique_lock<std::mutex> Guard(Mutex);
+  UniqueLock Guard(Mu);
   if (Retired)
     return false;
   ++Counters.Acquisitions;
@@ -101,7 +101,7 @@ bool FatLock::lockIfLive(const ThreadContext &Thread) {
 FatLock::TimedResult FatLock::lockIfLiveFor(const ThreadContext &Thread,
                                             int64_t TimeoutNanos) {
   assert(Thread.isValid() && "locking with an unattached thread");
-  std::unique_lock<std::mutex> Guard(Mutex);
+  UniqueLock Guard(Mu);
   if (Retired)
     return TimedResult::Retired;
   if (Owner == Thread.index()) {
@@ -158,7 +158,7 @@ FatLock::TimedResult FatLock::lockIfLiveFor(const ThreadContext &Thread,
 
 FatLock::ReleaseResult
 FatLock::unlockAndTryRetire(const ThreadContext &Thread) {
-  std::unique_lock<std::mutex> Guard(Mutex);
+  UniqueLock Guard(Mu);
   if (Owner != Thread.index())
     return ReleaseResult::NotOwner;
   assert(Hold > 0 && "owner with zero hold count");
@@ -185,7 +185,7 @@ FatLock::unlockAndTryRetire(const ThreadContext &Thread) {
 }
 
 bool FatLock::isRetired() const {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   return Retired;
 }
 
@@ -198,7 +198,7 @@ bool FatLock::tryLock(const ThreadContext &Thread) {
 
 FatLock::TryResult FatLock::tryLockStatus(const ThreadContext &Thread) {
   assert(Thread.isValid() && "locking with an unattached thread");
-  std::unique_lock<std::mutex> Guard(Mutex);
+  UniqueLock Guard(Mu);
   if (Retired)
     return TryResult::Retired;
   if (Owner == Thread.index()) {
@@ -219,7 +219,7 @@ FatLock::TryResult FatLock::tryLockStatus(const ThreadContext &Thread) {
 void FatLock::lockWithCount(const ThreadContext &Thread, uint32_t Count) {
   assert(Thread.isValid() && "locking with an unattached thread");
   assert(Count > 0 && "inflation transfers at least one hold");
-  std::unique_lock<std::mutex> Guard(Mutex);
+  UniqueLock Guard(Mu);
   assert(Owner == 0 && EntryHead == nullptr &&
          "inflation target must be a fresh, unpublished monitor");
   ++Counters.Acquisitions;
@@ -230,7 +230,7 @@ void FatLock::lockWithCount(const ThreadContext &Thread, uint32_t Count) {
 void FatLock::lockMergingCount(const ThreadContext &Thread, uint32_t Count) {
   assert(Thread.isValid() && "locking with an unattached thread");
   assert(Count > 0 && "inflation transfers at least one hold");
-  std::unique_lock<std::mutex> Guard(Mutex);
+  UniqueLock Guard(Mu);
   assert(!Retired && "emergency monitor must be pinned, never retired");
   ++Counters.Acquisitions;
   if (Owner == Thread.index()) {
@@ -244,12 +244,12 @@ void FatLock::lockMergingCount(const ThreadContext &Thread, uint32_t Count) {
 }
 
 void FatLock::pin() {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   Pinned = true;
 }
 
 bool FatLock::isPinned() const {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   return Pinned;
 }
 
@@ -259,7 +259,7 @@ void FatLock::unlock(const ThreadContext &Thread) {
 }
 
 bool FatLock::unlockChecked(const ThreadContext &Thread) {
-  std::unique_lock<std::mutex> Guard(Mutex);
+  UniqueLock Guard(Mu);
   if (Owner != Thread.index())
     return false;
   assert(Hold > 0 && "owner with zero hold count");
@@ -292,7 +292,7 @@ void FatLock::removeWaiter(WaitNode *Node) {
 
 FatLock::WaitResult FatLock::wait(const ThreadContext &Thread,
                                   int64_t TimeoutNanos) {
-  std::unique_lock<std::mutex> Guard(Mutex);
+  UniqueLock Guard(Mu);
   assert(Owner == Thread.index() && "wait by non-owner");
   ++Counters.Waits;
   // From here until reacquisition completes we are a user the
@@ -371,7 +371,7 @@ FatLock::WaitResult FatLock::wait(const ThreadContext &Thread,
 }
 
 bool FatLock::notify(const ThreadContext &Thread) {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   assert(Owner == Thread.index() && "notify by non-owner");
   ++Counters.Notifies;
   if (!WaitHead)
@@ -388,7 +388,7 @@ bool FatLock::notify(const ThreadContext &Thread) {
 }
 
 uint32_t FatLock::notifyAll(const ThreadContext &Thread) {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   assert(Owner == Thread.index() && "notifyAll by non-owner");
   ++Counters.Notifies;
   // Morph the whole wait set onto the entry queue in FIFO order — no
@@ -409,31 +409,31 @@ uint32_t FatLock::notifyAll(const ThreadContext &Thread) {
 }
 
 bool FatLock::heldBy(const ThreadContext &Thread) const {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   return Owner == Thread.index() && Thread.isValid();
 }
 
 uint16_t FatLock::ownerIndex() const {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   return Owner;
 }
 
 uint32_t FatLock::holdCount() const {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   return Hold;
 }
 
 uint32_t FatLock::entryQueueLength() const {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   return EntryLen;
 }
 
 uint32_t FatLock::waitSetSize() const {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   return WaitLen;
 }
 
 FatLockStats FatLock::stats() const {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   return Counters;
 }

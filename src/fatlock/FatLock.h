@@ -36,11 +36,11 @@
 #ifndef THINLOCKS_FATLOCK_FATLOCK_H
 #define THINLOCKS_FATLOCK_FATLOCK_H
 
+#include "support/Mutex.h"
 #include "threads/ThreadContext.h"
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 namespace thinlocks {
 
@@ -75,14 +75,14 @@ public:
   /// Acquires the monitor for \p Thread, blocking FIFO behind earlier
   /// arrivals.  Recursive acquisition increments the hold count.
   /// Asserts that the monitor has not been retired.
-  void lock(const ThreadContext &Thread);
+  void lock(const ThreadContext &Thread) TL_EXCLUDES(Mu);
 
   /// Like lock(), but \returns false without acquiring if the monitor
   /// has been *retired* by deflation — the caller must re-read the
   /// object's lock word and start over.  Retirement can only happen
   /// while the entry queue is empty, so once this call has queued it
   /// cannot be stranded.
-  bool lockIfLive(const ThreadContext &Thread);
+  bool lockIfLive(const ThreadContext &Thread) TL_EXCLUDES(Mu);
 
   /// Outcome of a bounded acquisition attempt.
   enum class TimedResult { Acquired, TimedOut, Retired };
@@ -93,32 +93,34 @@ public:
   /// caller typically runs a deadlock check before retrying (see
   /// ThinLockImpl).
   TimedResult lockIfLiveFor(const ThreadContext &Thread,
-                            int64_t TimeoutNanos);
+                            int64_t TimeoutNanos) TL_EXCLUDES(Mu);
 
   /// Releases one hold; when releasing the last hold finds the monitor
   /// completely quiescent (no queued entrants, no waiters), retires it:
   /// a retired monitor rejects all future use via lockIfLive().  The
   /// caller then owns re-publishing the object's thin lock word.
-  ReleaseResult unlockAndTryRetire(const ThreadContext &Thread);
+  ReleaseResult unlockAndTryRetire(const ThreadContext &Thread)
+      TL_EXCLUDES(Mu);
 
   /// \returns true once the monitor has been retired by deflation.
-  bool isRetired() const;
+  bool isRetired() const TL_EXCLUDES(Mu);
 
   /// Attempts to acquire without blocking.  Fails if another thread owns
   /// the monitor or if threads are queued ahead.
-  bool tryLock(const ThreadContext &Thread);
+  bool tryLock(const ThreadContext &Thread) TL_EXCLUDES(Mu);
 
   /// Non-blocking acquisition attempt distinguishing "busy" from
   /// "retired by deflation" (the latter means: re-read the lock word).
   enum class TryResult { Acquired, Busy, Retired };
-  TryResult tryLockStatus(const ThreadContext &Thread);
+  TryResult tryLockStatus(const ThreadContext &Thread) TL_EXCLUDES(Mu);
 
   /// Acquires ownership with an initial hold count of \p Count.  Used by
   /// lock inflation, which transfers an existing thin-lock nesting depth
   /// into the fat lock.  The monitor must be unowned with an empty queue;
   /// this is guaranteed because inflation happens before the fat lock is
   /// published in the object's lock word.
-  void lockWithCount(const ThreadContext &Thread, uint32_t Count);
+  void lockWithCount(const ThreadContext &Thread, uint32_t Count)
+      TL_EXCLUDES(Mu);
 
   /// Emergency-inflation variant of lockWithCount() for a *shared*
   /// monitor (the MonitorTable's exhaustion fallback): blocks until the
@@ -126,36 +128,38 @@ public:
   /// calling thread already owns it because an earlier object of its
   /// was also inflated onto this monitor, merges \p Count into the
   /// existing hold count.
-  void lockMergingCount(const ThreadContext &Thread, uint32_t Count);
+  void lockMergingCount(const ThreadContext &Thread, uint32_t Count)
+      TL_EXCLUDES(Mu);
 
   /// Marks this monitor as never retirable (the shared emergency monitor:
   /// an unknown number of lock words may name it, so deflation must not
   /// recycle it).
-  void pin();
+  void pin() TL_EXCLUDES(Mu);
 
   /// \returns true if pin() was called.
-  bool isPinned() const;
+  bool isPinned() const TL_EXCLUDES(Mu);
 
   /// Releases one hold; the monitor is freed when the count reaches zero.
   /// Asserts that \p Thread is the owner.
-  void unlock(const ThreadContext &Thread);
+  void unlock(const ThreadContext &Thread) TL_EXCLUDES(Mu);
 
   /// Like unlock(), but \returns false (without asserting) when \p Thread
   /// is not the owner — the hook for IllegalMonitorStateException.
-  bool unlockChecked(const ThreadContext &Thread);
+  bool unlockChecked(const ThreadContext &Thread) TL_EXCLUDES(Mu);
 
   /// Java Object.wait(): releases *all* holds, sleeps until notified or
   /// until \p TimeoutNanos elapses (negative = wait forever), then
   /// reacquires the monitor with the original hold count before returning.
   /// Asserts that \p Thread is the owner.
-  WaitResult wait(const ThreadContext &Thread, int64_t TimeoutNanos = -1);
+  WaitResult wait(const ThreadContext &Thread, int64_t TimeoutNanos = -1)
+      TL_EXCLUDES(Mu);
 
   /// Wakes the longest-waiting thread, if any.  Asserts ownership.
   /// \returns true if a waiter was woken.
-  bool notify(const ThreadContext &Thread);
+  bool notify(const ThreadContext &Thread) TL_EXCLUDES(Mu);
 
   /// Wakes every waiter.  Asserts ownership.  \returns how many.
-  uint32_t notifyAll(const ThreadContext &Thread);
+  uint32_t notifyAll(const ThreadContext &Thread) TL_EXCLUDES(Mu);
 
   /// Routes wake-handoff latency samples (unpark-to-resume nanoseconds,
   /// measured by the Parkers) into \p Stats' time-to-wake histogram.
@@ -166,33 +170,35 @@ public:
   }
 
   /// \returns true if \p Thread currently owns this monitor.
-  bool heldBy(const ThreadContext &Thread) const;
+  bool heldBy(const ThreadContext &Thread) const TL_EXCLUDES(Mu);
 
   /// \returns the owner's thread index, or 0 if unowned (racy snapshot).
-  uint16_t ownerIndex() const;
+  uint16_t ownerIndex() const TL_EXCLUDES(Mu);
 
   /// \returns the owner's current hold count (racy snapshot).
-  uint32_t holdCount() const;
+  uint32_t holdCount() const TL_EXCLUDES(Mu);
 
   /// \returns the number of threads blocked trying to enter.
-  uint32_t entryQueueLength() const;
+  uint32_t entryQueueLength() const TL_EXCLUDES(Mu);
 
   /// \returns the number of threads in the wait set.
-  uint32_t waitSetSize() const;
+  uint32_t waitSetSize() const TL_EXCLUDES(Mu);
 
   /// \returns a consistent snapshot of the event counters.
-  FatLockStats stats() const;
+  FatLockStats stats() const TL_EXCLUDES(Mu);
 
 private:
   /// One thread blocked in the entry queue; stack-allocated in the
-  /// blocking call, linked FIFO.  All fields are guarded by Mutex.
+  /// blocking call, linked FIFO.  All fields are guarded by Mu (stack
+  /// nodes cannot carry a per-instance TL_GUARDED_BY; the REQUIRES
+  /// annotations on every function that touches them enforce it).
   struct EntryNode {
     Parker *Pk = nullptr;
     EntryNode *Next = nullptr;
   };
 
   /// One thread in the wait set; stack-allocated in wait().  All fields
-  /// are guarded by Mutex.  The embedded EntryNode is what notify links
+  /// are guarded by Mu.  The embedded EntryNode is what notify links
   /// onto the entry FIFO (wait morphing) — the waiting thread keeps
   /// sleeping on the same Parker and is woken by the granting handoff.
   struct WaitNode {
@@ -201,50 +207,52 @@ private:
     bool Notified = false;
   };
 
-  // Entry-FIFO plumbing; Mutex must be held for all of these.
-  void pushEntry(EntryNode *Node);
-  void removeEntry(EntryNode *Node);
+  // Entry-FIFO plumbing; Mu must be held for all of these.
+  void pushEntry(EntryNode *Node) TL_REQUIRES(Mu);
+  void removeEntry(EntryNode *Node) TL_REQUIRES(Mu);
   /// \returns the Parker to hand the monitor to (the queue head's), or
   /// null when the queue is empty.  Called by releasers with Owner == 0.
-  Parker *entryHandoffTarget() const;
+  Parker *entryHandoffTarget() const TL_REQUIRES(Mu);
   /// \returns true when \p Node holds the exclusive claim on the free
   /// monitor (no owner, first in line).
-  bool claimable(const EntryNode *Node) const {
+  bool claimable(const EntryNode *Node) const TL_REQUIRES(Mu) {
     return Owner == 0 && EntryHead == Node;
   }
   /// Dequeues \p Node (the head), installs \p Index as owner, and feeds
   /// the wake-latency sample to the stats sink.
-  void grantTo(EntryNode *Node, uint16_t Index);
+  void grantTo(EntryNode *Node, uint16_t Index) TL_REQUIRES(Mu);
 
   // Blocks until the calling thread holds the monitor; Guard must hold
-  // Mutex on entry and holds it on return.  Counts the acquisition as
-  // contended unless the monitor was free with an empty queue.
-  void acquireSlow(std::unique_lock<std::mutex> &Guard,
-                   const ThreadContext &Thread);
-  void removeWaiter(WaitNode *Node);
+  // Mu on entry and holds it on return (it is dropped around each park).
+  // Counts the acquisition as contended unless the monitor was free with
+  // an empty queue.
+  void acquireSlow(UniqueLock &Guard, const ThreadContext &Thread)
+      TL_REQUIRES(Mu);
+  void removeWaiter(WaitNode *Node) TL_REQUIRES(Mu);
   void recordWakeLatency(const Parker *Pk);
 
-  mutable std::mutex Mutex;
-  uint16_t Owner = 0;
-  bool Retired = false;
-  bool Pinned = false;
-  uint32_t Hold = 0;
+  mutable Mutex Mu;
+  uint16_t Owner TL_GUARDED_BY(Mu) = 0;
+  bool Retired TL_GUARDED_BY(Mu) = false;
+  bool Pinned TL_GUARDED_BY(Mu) = false;
+  uint32_t Hold TL_GUARDED_BY(Mu) = 0;
   /// FIFO of threads blocked on entry.  A free monitor belongs to the
   /// head; releasers wake exactly that thread.
-  EntryNode *EntryHead = nullptr;
-  EntryNode *EntryTail = nullptr;
-  uint32_t EntryLen = 0;
+  EntryNode *EntryHead TL_GUARDED_BY(Mu) = nullptr;
+  EntryNode *EntryTail TL_GUARDED_BY(Mu) = nullptr;
+  uint32_t EntryLen TL_GUARDED_BY(Mu) = 0;
   /// FIFO wait set; notify() wakes the head.
-  WaitNode *WaitHead = nullptr;
-  WaitNode *WaitTail = nullptr;
-  uint32_t WaitLen = 0;
+  WaitNode *WaitHead TL_GUARDED_BY(Mu) = nullptr;
+  WaitNode *WaitTail TL_GUARDED_BY(Mu) = nullptr;
+  uint32_t WaitLen TL_GUARDED_BY(Mu) = 0;
   /// Threads currently inside wait() — including the window after
   /// notify removes them from the wait set but before they re-enter the
   /// entry queue.  Retirement (deflation) must treat them as users.
-  uint32_t ThreadsInWait = 0;
+  uint32_t ThreadsInWait TL_GUARDED_BY(Mu) = 0;
   /// Destination for wake-handoff latency samples (null = don't record).
+  /// Atomic, not guarded: set once at inflation, read by releasers.
   std::atomic<LockStats *> StatsSink{nullptr};
-  FatLockStats Counters;
+  FatLockStats Counters TL_GUARDED_BY(Mu);
 };
 
 } // namespace thinlocks

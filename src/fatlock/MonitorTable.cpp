@@ -28,7 +28,7 @@ MonitorTable::MonitorTable(uint32_t RequestedCapacity)
   // word minted during exhaustion resolves through the same wait-free path
   // as any other, and is pinned so the deflation extension can never
   // retire a monitor that an unknown number of objects share.
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   Emergency = new FatLock();
   Emergency->pin();
   Segment *Seg = segmentFor(Capacity);
@@ -103,7 +103,7 @@ uint32_t MonitorTable::allocate() {
 }
 
 uint32_t MonitorTable::refill(AllocShard &Shard) {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   // Another thread may have refilled this shard while we waited for the
   // mutex; if so the lock-free take will succeed now.
   uint64_t Cursor = Shard.Cursor.load(std::memory_order_relaxed);

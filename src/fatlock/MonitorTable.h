@@ -24,12 +24,12 @@
 #define THINLOCKS_FATLOCK_MONITORTABLE_H
 
 #include "fatlock/FatLock.h"
+#include "support/Mutex.h"
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 namespace thinlocks {
@@ -82,7 +82,7 @@ public:
   /// reserved in order), and failure is exact: allocate() returns 0 only
   /// after the central cursor *and* every shard remainder are drained,
   /// counting one exhaustion event per failed call.
-  uint32_t allocate();
+  uint32_t allocate() TL_EXCLUDES(Mu);
 
   /// \returns the monitor for \p Index.  Wait-free.  A zero,
   /// out-of-range, or never-allocated index is an invariant violation and
@@ -131,27 +131,28 @@ private:
   /// waited for the mutex — retry the lock-free take".
   static constexpr uint32_t RetryTake = ~0u;
 
-  /// Ensures the segment covering \p Index exists; Mutex must be held.
-  Segment *segmentFor(uint32_t Index);
+  /// Ensures the segment covering \p Index exists.
+  Segment *segmentFor(uint32_t Index) TL_REQUIRES(Mu);
 
   /// Takes the mutex and reserves a fresh block for \p Shard, returning
   /// the block's first index for the caller.  Returns RetryTake if the
   /// shard was refilled concurrently, or 0 (after counting an exhaustion
   /// event) if the central cursor and every shard remainder are empty.
-  uint32_t refill(AllocShard &Shard);
+  uint32_t refill(AllocShard &Shard) TL_EXCLUDES(Mu);
 
   /// Creates the FatLock for a claimed \p Index and makes it visible to
   /// the wait-free readers.  Lock-free; the index's segment was created
   /// by the refill that reserved its block.
   uint32_t publish(uint32_t Index);
 
-  mutable std::mutex Mutex;
+  mutable Mutex Mu;
+  // Atomic (not guarded): wait-free readers resolve through Segments.
   std::array<std::atomic<Segment *>, NumSegments> Segments;
-  std::vector<std::unique_ptr<Segment>> SegmentStorage;
+  std::vector<std::unique_ptr<Segment>> SegmentStorage TL_GUARDED_BY(Mu);
   std::array<AllocShard, NumAllocShards> Shards;
   uint32_t Capacity;
   FatLock *Emergency = nullptr;
-  uint32_t NextIndex = 1;
+  uint32_t NextIndex TL_GUARDED_BY(Mu) = 1;
   std::atomic<uint32_t> LiveCount{0};
   std::atomic<uint64_t> ExhaustionEvents{0};
 };

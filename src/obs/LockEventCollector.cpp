@@ -18,15 +18,21 @@ LockEventCollector::LockEventCollector(ThreadRegistry &Registry,
     : Registry(Registry), MaxRetainedEvents(MaxRetainedEvents) {}
 
 size_t LockEventCollector::drain() {
-  std::lock_guard<std::mutex> G(Mutex);
+  LockGuard G(Mu);
   size_t Consumed = 0;
   uint64_t RingDropTotal = 0;
+  // Buffer the events and fold after the walk: the thread-safety
+  // analysis cannot see through the std::function boundary of
+  // forEachEventRing that Mu is held, and fold() requires it.
+  std::vector<LockEvent> Batch;
   Registry.forEachEventRing([&](EventRing &Ring) {
-    Consumed += Ring.drain([&](const LockEvent &E) { fold(E); });
+    Consumed += Ring.drain([&](const LockEvent &E) { Batch.push_back(E); });
     // This collector is the rings' only drainer, so the cumulative
     // per-ring drop counts sum to the process-wide total.
     RingDropTotal += Ring.droppedEvents();
   });
+  for (const LockEvent &E : Batch)
+    fold(E);
   RingDrops = RingDropTotal;
   return Consumed;
 }
@@ -72,22 +78,22 @@ void LockEventCollector::fold(const LockEvent &E) {
 }
 
 std::vector<LockEvent> LockEventCollector::events() const {
-  std::lock_guard<std::mutex> G(Mutex);
+  LockGuard G(Mu);
   return Retained;
 }
 
 uint64_t LockEventCollector::totalEvents() const {
-  std::lock_guard<std::mutex> G(Mutex);
+  LockGuard G(Mu);
   return FoldedEvents;
 }
 
 uint64_t LockEventCollector::droppedEvents() const {
-  std::lock_guard<std::mutex> G(Mutex);
+  LockGuard G(Mu);
   return RingDrops + RetentionDrops;
 }
 
 std::vector<HotLockEntry> LockEventCollector::topLocks(size_t N) const {
-  std::lock_guard<std::mutex> G(Mutex);
+  LockGuard G(Mu);
   std::vector<HotLockEntry> All;
   All.reserve(Profile.size());
   for (const auto &KV : Profile)
@@ -134,7 +140,7 @@ LockEventCollector::formatTopLocks(size_t N,
 }
 
 void LockEventCollector::reset() {
-  std::lock_guard<std::mutex> G(Mutex);
+  LockGuard G(Mu);
   Retained.clear();
   Profile.clear();
   FoldedEvents = 0;

@@ -21,10 +21,10 @@
 #define THINLOCKS_OBS_LOCKEVENTCOLLECTOR_H
 
 #include "obs/LockEvents.h"
+#include "support/Mutex.h"
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -67,42 +67,43 @@ public:
 
   /// Drains every ring once.  Safe from any thread; concurrent calls
   /// serialize.  \returns the number of events consumed this pass.
-  size_t drain();
+  size_t drain() TL_EXCLUDES(Mu);
 
   /// \returns a copy of the retained timeline (drain() first for
   /// freshness), ordered by thread and then by record order.
-  std::vector<LockEvent> events() const;
+  std::vector<LockEvent> events() const TL_EXCLUDES(Mu);
 
   /// \returns the total number of events folded into the aggregate.
-  uint64_t totalEvents() const;
+  uint64_t totalEvents() const TL_EXCLUDES(Mu);
 
   /// \returns events lost to ring overruns plus retention-cap overflow.
-  uint64_t droppedEvents() const;
+  uint64_t droppedEvents() const TL_EXCLUDES(Mu);
 
   /// \returns the top \p N objects by cumulative blocked time (ties
   /// broken by contended-acquire count, then by inflations).
-  std::vector<HotLockEntry> topLocks(size_t N) const;
+  std::vector<HotLockEntry> topLocks(size_t N) const TL_EXCLUDES(Mu);
 
   /// Renders topLocks(N) as an aligned text table.  When \p Classes is
   /// non-null, class indices resolve to names.
   std::string formatTopLocks(size_t N,
-                             const ClassRegistry *Classes = nullptr) const;
+                             const ClassRegistry *Classes = nullptr) const
+      TL_EXCLUDES(Mu);
 
   /// Drops the retained timeline and the aggregate (rings keep their
   /// cursors: only not-yet-drained events survive a reset).
-  void reset();
+  void reset() TL_EXCLUDES(Mu);
 
 private:
-  void fold(const LockEvent &E);
+  void fold(const LockEvent &E) TL_REQUIRES(Mu);
 
   ThreadRegistry &Registry;
   const size_t MaxRetainedEvents;
-  mutable std::mutex Mutex;
-  std::vector<LockEvent> Retained;
-  std::unordered_map<uint64_t, HotLockEntry> Profile;
-  uint64_t FoldedEvents = 0;
-  uint64_t RetentionDrops = 0;
-  uint64_t RingDrops = 0;
+  mutable Mutex Mu;
+  std::vector<LockEvent> Retained TL_GUARDED_BY(Mu);
+  std::unordered_map<uint64_t, HotLockEntry> Profile TL_GUARDED_BY(Mu);
+  uint64_t FoldedEvents TL_GUARDED_BY(Mu) = 0;
+  uint64_t RetentionDrops TL_GUARDED_BY(Mu) = 0;
+  uint64_t RingDrops TL_GUARDED_BY(Mu) = 0;
 };
 
 } // namespace obs

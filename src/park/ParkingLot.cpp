@@ -46,7 +46,7 @@ ParkingLot::parkImpl(const void *Key, Parker &Pk, bool (*Validate)(void *),
   Node.Pk = &Pk;
   Node.Key = Key;
   {
-    std::lock_guard<std::mutex> G(B.Mutex);
+    LockGuard G(B.Mu);
     if (!Validate(Ctx))
       return ParkResult::Invalid;
     Node.Queued = true;
@@ -60,7 +60,7 @@ ParkingLot::parkImpl(const void *Key, Parker &Pk, bool (*Validate)(void *),
       // mutex so a concurrent unparkOne can capture this node first.
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
-    std::unique_lock<std::mutex> G(B.Mutex);
+    UniqueLock G(B.Mu);
     if (!Node.Queued) {
       // A waker dequeued us.
       if (HasDeadline && (R == Parker::WakeReason::TimedOut ||
@@ -106,7 +106,7 @@ size_t ParkingLot::unparkOne(const void *Key) {
   Bucket &B = bucketFor(Key);
   Parker *Target = nullptr;
   {
-    std::lock_guard<std::mutex> G(B.Mutex);
+    LockGuard G(B.Mu);
     for (WaitNode *Cur = B.Head; Cur; Cur = Cur->Next) {
       if (Cur->Key != Key)
         continue;
@@ -131,7 +131,7 @@ size_t ParkingLot::unparkAll(const void *Key) {
   // registry-lifetime Parker pointers survive the unlock.
   std::vector<Parker *> Targets;
   {
-    std::lock_guard<std::mutex> G(B.Mutex);
+    LockGuard G(B.Mu);
     WaitNode *Cur = B.Head;
     while (Cur) {
       WaitNode *Next = Cur->Next;
@@ -149,7 +149,7 @@ size_t ParkingLot::unparkAll(const void *Key) {
 
 size_t ParkingLot::queuedOn(const void *Key) {
   Bucket &B = bucketFor(Key);
-  std::lock_guard<std::mutex> G(B.Mutex);
+  LockGuard G(B.Mu);
   size_t N = 0;
   for (WaitNode *Cur = B.Head; Cur; Cur = Cur->Next)
     N += Cur->Key == Key;

@@ -36,11 +36,11 @@
 #define THINLOCKS_PARK_PARKINGLOT_H
 
 #include "park/Parker.h"
+#include "support/Mutex.h"
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 
 namespace thinlocks {
 
@@ -113,7 +113,10 @@ public:
 
 private:
   /// One parked thread, stack-allocated inside parkImpl and linked into
-  /// its bucket's FIFO.  All fields are guarded by the bucket mutex.
+  /// its bucket's FIFO.  All fields are guarded by the bucket mutex
+  /// (stack nodes cannot carry a per-instance TL_GUARDED_BY; the
+  /// REQUIRES annotation on unlink and the LockGuard scopes in
+  /// ParkingLot.cpp enforce it).
   struct WaitNode {
     Parker *Pk;
     const void *Key;
@@ -122,9 +125,9 @@ private:
   };
 
   struct alignas(64) Bucket {
-    std::mutex Mutex;
-    WaitNode *Head = nullptr;
-    WaitNode *Tail = nullptr;
+    Mutex Mu;
+    WaitNode *Head TL_GUARDED_BY(Mu) = nullptr;
+    WaitNode *Tail TL_GUARDED_BY(Mu) = nullptr;
   };
 
   ParkResult parkImpl(const void *Key, Parker &Pk, bool (*Validate)(void *),
@@ -132,9 +135,8 @@ private:
                       std::chrono::steady_clock::time_point Deadline);
 
   Bucket &bucketFor(const void *Key) { return Buckets[bucketIndexOf(Key)]; }
-  /// Unlinks \p Node from \p B (must hold B.Mutex; \p Node must be
-  /// queued).
-  static void unlink(Bucket &B, WaitNode *Node);
+  /// Unlinks \p Node from \p B (\p Node must be queued).
+  static void unlink(Bucket &B, WaitNode *Node) TL_REQUIRES(B.Mu);
 
   Bucket Buckets[NumBuckets];
 };

@@ -60,10 +60,10 @@ bool armOne(const std::string &Clause, std::string *Error) {
   std::string ModeSpec = Clause.substr(Eq + 1);
   size_t Colon = ModeSpec.find(':');
   std::string ModeName = ModeSpec.substr(0, Colon);
-  uint64_t Arg = 0;
+  uint64_t ModeArg = 0;
   if (Colon != std::string::npos) {
     char *End = nullptr;
-    Arg = std::strtoull(ModeSpec.c_str() + Colon + 1, &End, 10);
+    ModeArg = std::strtoull(ModeSpec.c_str() + Colon + 1, &End, 10);
     if (End == nullptr || *End != '\0') {
       if (Error)
         *Error = "bad argument in \"" + Clause + "\"";
@@ -73,9 +73,9 @@ bool armOne(const std::string &Clause, std::string *Error) {
   if (ModeName == "always") {
     arm(Point, Mode::Always);
   } else if (ModeName == "times") {
-    arm(Point, Mode::Times, Arg);
+    arm(Point, Mode::Times, ModeArg);
   } else if (ModeName == "oneIn") {
-    arm(Point, Mode::OneIn, Arg);
+    arm(Point, Mode::OneIn, ModeArg);
   } else if (ModeName == "off") {
     disarm(Point);
   } else {

@@ -1,0 +1,74 @@
+//===- support/ThreadSafety.h - Clang Thread Safety Analysis ---*- C++ -*-===//
+///
+/// \file
+/// Capability annotations for Clang's Thread Safety Analysis (TSA),
+/// following the attribute vocabulary of -Wthread-safety:
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+///
+/// The locking discipline of every internally-synchronized subsystem
+/// (MonitorTable, ParkingLot, ThreadRegistry, FatLock, LockStats,
+/// LockEventCollector) is written down with these macros so that a clang
+/// build with -Wthread-safety -Werror=thread-safety proves, at compile
+/// time, that every GUARDED_BY field is only touched under its mutex and
+/// every REQUIRES helper is only called with the lock held.  CI runs that
+/// build as a blocking job; see DESIGN.md §11.
+///
+/// On compilers without the attributes (gcc, MSVC) every macro expands to
+/// nothing, so annotated code compiles identically everywhere.  The
+/// annotations are *documentation that cannot rot*: they carry zero
+/// runtime cost in every build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_SUPPORT_THREADSAFETY_H
+#define THINLOCKS_SUPPORT_THREADSAFETY_H
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TL_THREAD_ANNOTATION(X) __attribute__((X))
+#else
+#define TL_THREAD_ANNOTATION(X) // no-op
+#endif
+
+/// Marks a class as a capability (a lock).  The string names the
+/// capability kind in diagnostics ("mutex").
+#define TL_CAPABILITY(X) TL_THREAD_ANNOTATION(capability(X))
+
+/// Marks a class whose constructor acquires and destructor releases a
+/// capability (lock_guard / unique_lock shapes).
+#define TL_SCOPED_CAPABILITY TL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the named capability.
+#define TL_GUARDED_BY(X) TL_THREAD_ANNOTATION(guarded_by(X))
+
+/// Pointer member whose *pointee* is protected by the named capability
+/// (the pointer itself may be read freely).
+#define TL_PT_GUARDED_BY(X) TL_THREAD_ANNOTATION(pt_guarded_by(X))
+
+/// Function acquires the capability (or the listed ones) and holds it on
+/// return; callers must not already hold it.
+#define TL_ACQUIRE(...) TL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define TL_RELEASE(...) TL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning the given value.
+#define TL_TRY_ACQUIRE(...)                                                   \
+  TL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Callers must hold the listed capabilities; the function neither
+/// acquires nor (net) releases them.
+#define TL_REQUIRES(...) TL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the listed capabilities (deadlock prevention:
+/// the function acquires them itself).
+#define TL_EXCLUDES(...) TL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability (accessor).
+#define TL_RETURN_CAPABILITY(X) TL_THREAD_ANNOTATION(lock_returned(X))
+
+/// Escape hatch for protocols TSA cannot express (e.g. handing a lock
+/// between threads).  Every use must carry a comment saying why.
+#define TL_NO_THREAD_SAFETY_ANALYSIS                                          \
+  TL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // THINLOCKS_SUPPORT_THREADSAFETY_H

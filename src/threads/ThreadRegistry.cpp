@@ -49,7 +49,7 @@ ThreadContext ThreadRegistry::attach(std::string Name, AttachError *Error) {
       *Error = AttachError::Exhausted;
     return ThreadContext();
   }
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   uint16_t Index = 0;
   if (!FreeIndices.empty()) {
     Index = FreeIndices.back();
@@ -92,7 +92,7 @@ ThreadContext ThreadRegistry::attach(std::string Name, AttachError *Error) {
 
   // Publish the striped-counter identity for this thread.  attach()
   // runs on the thread being attached (NativeId above is the caller's),
-  // and successive owners of a recycled index are ordered by Mutex, so
+  // and successive owners of a recycled index are ordered by Mu, so
   // an exclusive stripe really has one live writer.
   setCurrentThreadStripe(Index);
 
@@ -107,7 +107,7 @@ ThreadContext ThreadRegistry::attach(std::string Name, AttachError *Error) {
 
 void ThreadRegistry::forEachEventRing(
     const std::function<void(obs::EventRing &)> &Fn) {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   // Storage persists across detach (like the Parkers), so this covers
   // events recorded by threads that are already gone.
   for (uint16_t Index = 1; Index < NextFreshIndex; ++Index)
@@ -125,7 +125,7 @@ void ThreadRegistry::detach(ThreadContext &Ctx) {
     fatalError("ThreadRegistry::detach: context for thread index %u "
                "belongs to another registry",
                Ctx.Index);
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   ThreadInfo *Info = Slots[Ctx.Index].load(std::memory_order_relaxed);
   if (Info == nullptr)
     fatalError("ThreadRegistry::detach: double detach of thread index %u",
@@ -175,12 +175,12 @@ const Object *ThreadRegistry::blockedOn(uint16_t Index) const {
 }
 
 void ThreadRegistry::setIndexAuditor(IndexAuditor NewAuditor) {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   Auditor = std::move(NewAuditor);
 }
 
 uint32_t ThreadRegistry::quarantinedIndexCount() const {
-  std::lock_guard<std::mutex> Guard(Mutex);
+  LockGuard Guard(Mu);
   return static_cast<uint32_t>(Quarantined.size());
 }
 

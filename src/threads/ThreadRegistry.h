@@ -27,12 +27,12 @@
 
 #include "obs/EventRing.h"
 #include "park/Parker.h"
+#include "support/Mutex.h"
 #include "threads/ThreadContext.h"
 
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -92,7 +92,7 @@ public:
   /// invalid context (isValid() == false) if all 32767 indices are in
   /// use; when \p Error is non-null it receives the typed reason.
   ThreadContext attach(std::string Name = std::string(),
-                       AttachError *Error = nullptr);
+                       AttachError *Error = nullptr) TL_EXCLUDES(Mu);
 
   /// Releases \p Ctx's index and invalidates \p Ctx.  The caller must
   /// not hold any lock owned under this identity; when an index auditor
@@ -101,7 +101,7 @@ public:
   /// impersonate the stale owner.  Detaching an invalid, foreign, or
   /// already-detached context terminates with a diagnostic in every
   /// build mode.
-  void detach(ThreadContext &Ctx);
+  void detach(ThreadContext &Ctx) TL_EXCLUDES(Mu);
 
   /// \returns the info for an attached index, or nullptr if \p Index is
   /// not currently attached.  Safe to call concurrently with attach and
@@ -118,14 +118,15 @@ public:
 
   /// Installs the auditor consulted by detach() and by quarantine
   /// rescans.  Pass nullptr to restore unconditional recycling.
-  void setIndexAuditor(IndexAuditor Auditor);
+  void setIndexAuditor(IndexAuditor Auditor) TL_EXCLUDES(Mu);
 
   /// Visits the lock-event ring of every thread index ever attached —
   /// including currently-detached indices, whose rings may still hold
   /// undrained events.  Runs under the registry mutex (attach/detach
   /// block for the duration), so keep \p Fn short; the event collector
   /// uses this as its drain loop.
-  void forEachEventRing(const std::function<void(obs::EventRing &)> &Fn);
+  void forEachEventRing(const std::function<void(obs::EventRing &)> &Fn)
+      TL_EXCLUDES(Mu);
 
   /// \returns the number of currently attached threads.
   uint32_t liveThreadCount() const {
@@ -139,7 +140,7 @@ public:
 
   /// \returns how many detached indices are parked in quarantine because
   /// a live lock word still encodes them.
-  uint32_t quarantinedIndexCount() const;
+  uint32_t quarantinedIndexCount() const TL_EXCLUDES(Mu);
 
   /// \returns how many attach() calls failed for index exhaustion.
   uint64_t exhaustionEvents() const {
@@ -152,17 +153,18 @@ public:
 
 private:
   /// Re-audits quarantined indices, moving released ones to the free
-  /// list; Mutex must be held.
-  void rescanQuarantine();
+  /// list.
+  void rescanQuarantine() TL_REQUIRES(Mu);
 
-  mutable std::mutex Mutex;
+  mutable Mutex Mu;
   // Slot I holds the info for index I while attached, nullptr otherwise.
+  // Atomic (not guarded): lookups by index are lock-free.
   std::vector<std::atomic<ThreadInfo *>> Slots;
-  std::vector<std::unique_ptr<ThreadInfo>> Storage;
-  std::vector<uint16_t> FreeIndices;
-  std::vector<uint16_t> Quarantined;
-  IndexAuditor Auditor;
-  uint16_t NextFreshIndex = 1;
+  std::vector<std::unique_ptr<ThreadInfo>> Storage TL_GUARDED_BY(Mu);
+  std::vector<uint16_t> FreeIndices TL_GUARDED_BY(Mu);
+  std::vector<uint16_t> Quarantined TL_GUARDED_BY(Mu);
+  IndexAuditor Auditor TL_GUARDED_BY(Mu);
+  uint16_t NextFreshIndex TL_GUARDED_BY(Mu) = 1;
   std::atomic<uint32_t> LiveCount{0};
   std::atomic<uint32_t> PeakCount{0};
   std::atomic<uint64_t> ExhaustionEvents{0};

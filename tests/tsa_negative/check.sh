@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Negative-compile check for the thread-safety annotations.
+#
+# Proves two things with clang's -Wthread-safety:
+#   1. misuse.cpp FAILS to compile, with one diagnostic per seeded
+#      violation class (guarded write, REQUIRES call without lock,
+#      lock leaked at function exit, double acquisition).  If the
+#      annotation macros ever degrade to no-ops under clang, or the CI
+#      job stops passing -Wthread-safety, this catches it.
+#   2. A genuinely annotated production TU (fatlock/FatLock.cpp)
+#      compiles CLEANLY with -Wthread-safety -Werror — the annotations
+#      are not just present but consistent.
+#
+# Skips (exit 77) when no clang++ is available: gcc does not implement
+# the analysis.  CI runs this with clang installed; the local default
+# toolchain may be gcc-only.
+#
+# Usage: check.sh <src-dir> [clang++]
+set -u
+
+SRC=${1:?usage: check.sh <src-dir> [clang++]}
+CLANGXX=${2:-}
+
+if [ -z "$CLANGXX" ]; then
+  for cand in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+              clang++-16 clang++-15 clang++-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      CLANGXX=$cand
+      break
+    fi
+  done
+fi
+if [ -z "$CLANGXX" ] || ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  echo "SKIP: no clang++ found (thread-safety analysis needs clang)"
+  exit 77
+fi
+
+HERE=$(cd "$(dirname "$0")" && pwd)
+FLAGS="-std=c++20 -fsyntax-only -I$SRC -Wthread-safety -Werror"
+
+echo "== misuse.cpp must be rejected =="
+OUT=$("$CLANGXX" $FLAGS "$HERE/misuse.cpp" 2>&1)
+STATUS=$?
+echo "$OUT"
+if [ "$STATUS" -eq 0 ]; then
+  echo "FAIL: clang accepted deliberately mis-locked code — the"
+  echo "      annotations are not reaching the analysis"
+  exit 1
+fi
+
+fail=0
+expect() {
+  if ! echo "$OUT" | grep -q "$1"; then
+    echo "FAIL: missing expected diagnostic: $2"
+    fail=1
+  fi
+}
+# Diagnostic texts are stable across clang 10+.
+expect "requires holding mutex 'Mu'" \
+  "guarded-member write / REQUIRES call without the lock"
+expect "still held at the end of function" \
+  "mutex leaked at function exit (leakLock)"
+expect "that is already held" \
+  "double acquisition (doubleLock)"
+COUNT=$(echo "$OUT" | grep -c "warning:\|error:.*thread-safety\|error:.*requires holding\|error:.*still held\|error:.*already held")
+echo "(matched $COUNT thread-safety diagnostics)"
+
+echo "== annotated production TU must be clean =="
+if ! "$CLANGXX" $FLAGS "$SRC/fatlock/FatLock.cpp"; then
+  echo "FAIL: -Wthread-safety -Werror rejects fatlock/FatLock.cpp"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "PASS: analysis rejects misuse and accepts the annotated sources"

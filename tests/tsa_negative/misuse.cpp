@@ -1,0 +1,60 @@
+//===- tests/tsa_negative/misuse.cpp - TSA must reject this TU ------------===//
+///
+/// \file
+/// Deliberately mis-locked code.  This file is NEVER linked into
+/// anything; tests/tsa_negative/check.sh feeds it to
+/// `clang++ -fsyntax-only -Wthread-safety -Werror` and asserts the
+/// compile FAILS with the expected diagnostics.  That proves the
+/// annotation macros in support/ThreadSafety.h expand to real
+/// attributes under clang (not silently to nothing) and that the
+/// analysis is actually wired to catch each violation class the
+/// annotated subsystems rely on.
+///
+/// Each violation sits in its own function so check.sh can match one
+/// diagnostic per class by the names below.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Mutex.h"
+
+namespace {
+
+class Account {
+public:
+  // Violation 1: writing a guarded member without holding its mutex.
+  void unguardedWrite() { Balance = 42; }
+
+  // Violation 2: calling a TL_REQUIRES function without the lock.
+  void callWithoutLock() { creditLocked(1); }
+
+  // Violation 3: returning with the mutex still held.
+  void leakLock() { Mu.lock(); }
+
+  // Violation 4: acquiring a mutex the caller already holds.
+  void doubleLock() {
+    thinlocks::LockGuard G(Mu);
+    Mu.lock();
+    Mu.unlock();
+  }
+
+  // Correctly-locked control: must NOT produce a diagnostic (check.sh
+  // asserts exactly the four violations above are reported).
+  void deposit(long Amount) {
+    thinlocks::LockGuard G(Mu);
+    creditLocked(Amount);
+  }
+
+private:
+  void creditLocked(long Amount) TL_REQUIRES(Mu) { Balance += Amount; }
+
+  thinlocks::Mutex Mu;
+  long Balance TL_GUARDED_BY(Mu) = 0;
+};
+
+} // namespace
+
+int main() {
+  Account A;
+  A.deposit(1);
+  return 0;
+}

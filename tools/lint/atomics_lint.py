@@ -1,0 +1,318 @@
+#!/usr/bin/env python3
+"""Atomics-discipline lint for the thinlocks sources.
+
+Rule: every atomic operation in src/ must name an explicit
+std::memory_order, and must not use memory_order_seq_cst, unless the
+site is allowlisted with a one-line justification.
+
+Why: the thin-lock protocol's correctness argument is written in terms
+of specific acquire/release edges (DESIGN.md section 11).  An implicit
+order is seq_cst by default, which silently overpays on the fast path
+(a full fence on ARM, a locked instruction where a plain store would do
+for the release half on x86) and — worse — hides whether the author
+*chose* an ordering or forgot to.  Forcing every site to name its order
+turns each atomic into a reviewable claim.  seq_cst remains available,
+but only behind an allowlist entry that says why the stronger order is
+needed, so the strong sites stay enumerable.
+
+What is checked:
+  - method-form operations: .load/.store/.exchange/.fetch_*/
+    .compare_exchange_{weak,strong}/.test_and_set/.clear on any object
+    (we cannot see types, so *every* such call is checked; the repo has
+    no non-atomic classes with these method names)
+  - free-function fences: std::atomic_thread_fence / atomic_signal_fence
+  - operator-form uses of declared atomics (Name++, Name += x,
+    Name = x): these are implicitly seq_cst and invisible to the
+    method-form scan, so the lint collects the names of everything
+    declared std::atomic<...> in the file and flags compound
+    assignments / increments on them.  Plain `Name = x` on a different
+    (non-atomic) local that shadows a member would be a false positive;
+    none exist today, and an allowlist entry is the escape hatch.
+
+Allowlist: tools/lint/atomics_allowlist.txt.  Each entry line is
+
+    <path-relative-to-repo> | <site key> | <justification>
+
+where the site key is the operation with its argument list, whitespace
+collapsed (shown verbatim in the lint error, so fixing a finding is
+copy-paste).  Identical calls in one file share a key and one entry
+covers them all.  Stale entries (matching no site) fail the lint so the
+allowlist can never rot.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+No third-party dependencies; stdlib only.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+METHOD_OPS = (
+    "load",
+    "store",
+    "exchange",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "compare_exchange_weak",
+    "compare_exchange_strong",
+    "test_and_set",
+)
+
+# C++20 atomic wait/notify_one/notify_all are deliberately NOT scanned:
+# the repo does not use them (blocking goes through park/Parker), and
+# the names collide with the monitor protocol's wait()/notify() methods.
+NO_ORDER_OPS = set()
+
+FENCE_FNS = ("atomic_thread_fence", "atomic_signal_fence")
+
+METHOD_RE = re.compile(
+    r"(?:\.|->)\s*(" + "|".join(METHOD_OPS) + r")\s*\("
+)
+FENCE_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(" + "|".join(FENCE_FNS) + r")\s*\("
+)
+ATOMIC_DECL_RE = re.compile(
+    r"\bstd\s*::\s*atomic\s*<[^<>]*(?:<[^<>]*>[^<>]*)?>\s*&?\s*(\w+)"
+)
+# Operator forms that are sugar for seq_cst RMWs / stores on atomics.
+OPERATOR_FORMS = (
+    (re.compile(r"(\+\+|--)\s*{name}\b"), "pre-inc/dec"),
+    (re.compile(r"\b{name}\s*(\+\+|--)"), "post-inc/dec"),
+    (re.compile(r"\b{name}\s*(\+=|-=|\|=|&=|\^=)"), "compound assign"),
+    (re.compile(r"\b{name}\s*=(?![=])"), "assignment"),
+)
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving layout so
+    offsets and line numbers still map to the original file."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append(
+                "".join(ch if ch == "\n" else " " for ch in text[i:j])
+            )
+            i = j
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                j += 1
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2
+                       else text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def balanced_args(text, open_paren):
+    """Return (args, end) for the parenthesized argument list starting
+    at text[open_paren] == '(', or (None, open_paren) if unbalanced."""
+    depth = 0
+    for j in range(open_paren, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : j], j
+    return None, open_paren
+
+
+def collapse(s):
+    return re.sub(r"\s+", " ", s).strip()
+
+
+class Finding:
+    def __init__(self, path, line, key, message):
+        self.path = path
+        self.line = line
+        self.key = key
+        self.message = message
+
+
+def scan_file(relpath, text):
+    """Yield Finding objects for every suspicious atomic site."""
+    clean = strip_comments_and_strings(text)
+
+    def line_of(offset):
+        return clean.count("\n", 0, offset) + 1
+
+    # --- method-form and fence calls ---------------------------------
+    for matcher, is_fence in ((METHOD_RE, False), (FENCE_RE, True)):
+        for m in matcher.finditer(clean):
+            op = m.group(1)
+            args, _ = balanced_args(clean, m.end() - 1)
+            if args is None:
+                yield Finding(
+                    relpath, line_of(m.start()), None,
+                    f"unbalanced parentheses after {op}(",
+                )
+                continue
+            key = f"{op}({collapse(args)})"
+            line = line_of(m.start())
+            has_order = "memory_order" in args
+            if op in NO_ORDER_OPS:
+                if has_order:
+                    yield Finding(
+                        relpath, line, key,
+                        f"{op}() takes no memory_order argument",
+                    )
+                continue
+            if not has_order:
+                yield Finding(
+                    relpath, line, key,
+                    f"atomic {op}() without an explicit "
+                    "std::memory_order (implicitly seq_cst)",
+                )
+            elif "memory_order_seq_cst" in args:
+                yield Finding(
+                    relpath, line, key,
+                    f"atomic {op}() uses memory_order_seq_cst; "
+                    "justify in the allowlist or weaken the order",
+                )
+
+    # --- operator-form uses of declared atomics ----------------------
+    atomic_names = set(ATOMIC_DECL_RE.findall(clean))
+    decl_spans = [m.span() for m in ATOMIC_DECL_RE.finditer(clean)]
+
+    def in_decl(offset):
+        # The declaration's own initializer ({0}, = nullptr) is the
+        # declared default, not a runtime seq_cst store.
+        return any(s <= offset < e + 40 for s, e in decl_spans)
+
+    def is_declaration(offset):
+        # `uint64_t Time = In.Time.load(...)` declares a plain local
+        # that happens to share a name with an atomic member.  A name
+        # directly preceded by another identifier (or `>`, `&`, `*`
+        # closing a declarator) is a declaration, not an atomic use.
+        before = clean[:offset].rstrip()
+        return bool(before) and (before[-1].isalnum()
+                                 or before[-1] in "_>&*")
+
+    for name in atomic_names:
+        for template, what in OPERATOR_FORMS:
+            pat = re.compile(template.pattern.format(name=re.escape(name)))
+            for m in pat.finditer(clean):
+                name_at = m.start(0)
+                if in_decl(name_at) or is_declaration(m.start()):
+                    continue
+                key = f"operator:{name} {what}"
+                yield Finding(
+                    relpath, line_of(m.start()), key,
+                    f"operator-form {what} on atomic '{name}' "
+                    "(implicitly seq_cst); use an explicit "
+                    "fetch_/store with a memory_order",
+                )
+
+
+def load_allowlist(path):
+    entries = {}
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = [p.strip() for p in line.split("|", 2)]
+            if len(parts) != 3 or not all(parts):
+                print(
+                    f"{path}:{lineno}: malformed allowlist entry "
+                    "(want: <path> | <site key> | <justification>)",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            entries[(parts[0], parts[1])] = lineno
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--root", default=None,
+        help="repository root (default: two levels above this script)",
+    )
+    ap.add_argument(
+        "--src", default="src", help="source subtree to lint"
+    )
+    ap.add_argument(
+        "--allowlist", default=None,
+        help="allowlist file (default: atomics_allowlist.txt next to "
+        "this script)",
+    )
+    args = ap.parse_args()
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = args.root or os.path.dirname(os.path.dirname(here))
+    allowlist_path = args.allowlist or os.path.join(
+        here, "atomics_allowlist.txt"
+    )
+    allow = load_allowlist(allowlist_path)
+    used = set()
+
+    findings = []
+    src_root = os.path.join(root, args.src)
+    for dirpath, _, filenames in os.walk(src_root):
+        for fn in sorted(filenames):
+            if not fn.endswith((".h", ".cpp", ".hpp", ".cc")):
+                continue
+            full = os.path.join(dirpath, fn)
+            rel = os.path.relpath(full, root).replace(os.sep, "/")
+            with open(full, encoding="utf-8") as f:
+                text = f.read()
+            for finding in scan_file(rel, text):
+                entry = (finding.path, finding.key)
+                if finding.key is not None and entry in allow:
+                    used.add(entry)
+                    continue
+                findings.append(finding)
+
+    status = 0
+    for f in sorted(findings, key=lambda f: (f.path, f.line)):
+        print(f"{f.path}:{f.line}: {f.message}")
+        if f.key is not None:
+            print(f"    allowlist key: {f.path} | {f.key} | <why>")
+        status = 1
+
+    stale = set(allow) - used
+    for path, key in sorted(stale):
+        print(
+            f"{allowlist_path}:{allow[(path, key)]}: stale allowlist "
+            f"entry (no matching site): {path} | {key}"
+        )
+        status = 1
+
+    if status == 0:
+        print(
+            f"atomics_lint: OK ({len(allow)} allowlisted site(s), "
+            "all others explicit and weaker than seq_cst)"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

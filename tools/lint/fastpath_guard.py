@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Fast-path codegen guard for the thin-lock protocol.
+
+The paper's entire performance argument rests on the lock/unlock fast
+path compiling to a handful of straight-line instructions: a CAS to
+acquire, a plain store to release, no out-of-line calls before the
+protocol decides it needs the slow path.  This guard disassembles the
+compiled out-of-line fast-path entry points
+(ThinLockImpl<Policy>::lockOutOfLine / unlockOutOfLine, the FnCall
+variant symbols explicitly instantiated in core/ThinLock.cpp) and
+asserts, per symbol:
+
+  1. NO `call` instruction in the fast-path region.  The region is the
+     code from function entry to the first `ret` — the path a
+     successful thin acquire/release executes.  A `call` there means
+     the compiler stopped inlining something (stats hook, assertion,
+     accidental std::function) and the fast path silently gained a
+     frame + spill + branch.  Slow-path work lives past the first ret
+     (or behind a tail jmp), where calls are expected and fine.
+  2. The acquire symbols contain a CAS (`cmpxchg`) — the protocol's
+     atomicity is a compare-and-swap, not a lock-prefixed RMW blob or,
+     worse, a library call.
+  3. The region's instruction count stays within the committed budget
+     (tools/lint/fastpath_budget.txt).  Budgets carry headroom for
+     compiler-version variation; they exist to catch step-function
+     bloat (a regression that doubles the path), not single-instruction
+     scheduling noise.
+
+Usage: fastpath_guard.py [--object <ThinLock.cpp.o>] [--budget <file>]
+                         [--update-budget] [--verbose]
+
+Requires objdump (binutils) on PATH; no third-party Python deps.
+Exit status: 0 clean, 1 violations, 2 usage/tooling error.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+POLICIES = ("DynamicPolicy", "UniprocessorPolicy", "MultiprocessorPolicy",
+            "CasUnlockPolicy")
+OPS = ("lockOutOfLine", "unlockOutOfLine")
+
+SYMBOL_RE = re.compile(
+    r"^[0-9a-f]+ <(thinlocks::ThinLockImpl<thinlocks::(\w+)>::"
+    r"(\w+)\(.*)>:$"
+)
+INSN_RE = re.compile(r"^\s+[0-9a-f]+:\s+(\S+)(.*)$")
+
+# Instructions that transfer control out of line.  `call` is the
+# violation; plain jumps within the symbol are normal control flow and
+# tail-jumps to the slow path are the *point* of the FnCall layout.
+CALL_MNEMONICS = {"call", "callq"}
+RET_MNEMONICS = {"ret", "retq"}
+CAS_SUBSTR = "cmpxchg"
+# Acquire symbols must CAS.  unlock for most policies is a plain store;
+# only CasUnlockPolicy releases with a CAS (the UnlkC&S ablation).
+MUST_CAS = {f"lockOutOfLine:{p}" for p in POLICIES}
+MUST_CAS.add("unlockOutOfLine:CasUnlockPolicy")
+
+
+def default_object(root):
+    return os.path.join(
+        root, "build", "src", "CMakeFiles", "thinlocks.dir", "core",
+        "ThinLock.cpp.o",
+    )
+
+
+def parse_disassembly(objfile):
+    """Return {op:policy -> [mnemonic, ...]} with each list covering the
+    symbol's fast-path region: entry up to and including the first ret."""
+    try:
+        out = subprocess.run(
+            ["objdump", "-d", "--no-show-raw-insn", "-C", objfile],
+            check=True, capture_output=True, text=True,
+        ).stdout
+    except FileNotFoundError:
+        print("fastpath_guard: objdump not found on PATH", file=sys.stderr)
+        sys.exit(2)
+    except subprocess.CalledProcessError as e:
+        print(f"fastpath_guard: objdump failed: {e.stderr.strip()}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    regions = {}
+    current = None
+    done = False
+    for line in out.splitlines():
+        sym = SYMBOL_RE.match(line)
+        if sym:
+            policy, op = sym.group(2), sym.group(3)
+            if policy in POLICIES and op in OPS:
+                current = f"{op}:{policy}"
+                regions[current] = []
+                done = False
+            else:
+                current = None
+            continue
+        if current is None or done:
+            continue
+        insn = INSN_RE.match(line)
+        if not insn:
+            if not line.strip():
+                current = None
+            continue
+        mnemonic = insn.group(1)
+        # objdump writes the lock prefix as part of the mnemonic column
+        # ("lock cmpxchg ..."): group(1) is "lock", the operand text
+        # holds the real mnemonic.  Join them for matching.
+        if mnemonic == "lock":
+            mnemonic = "lock " + insn.group(2).strip().split()[0]
+        if mnemonic.startswith("nop"):
+            continue
+        regions[current].append(mnemonic)
+        if mnemonic in RET_MNEMONICS:
+            done = True
+    return regions
+
+
+def load_budget(path):
+    budgets = {}
+    if not os.path.exists(path):
+        return budgets
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2 or not parts[1].isdigit():
+                print(f"{path}:{lineno}: malformed budget line "
+                      "(want: <op>:<Policy> <max-instructions>)",
+                      file=sys.stderr)
+                sys.exit(2)
+            budgets[parts[0]] = int(parts[1])
+    return budgets
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--object", default=None,
+                    help="ThinLock.cpp.o to inspect (default: the "
+                    "default-preset build tree)")
+    ap.add_argument("--budget", default=None,
+                    help="budget file (default: fastpath_budget.txt "
+                    "next to this script)")
+    ap.add_argument("--update-budget", action="store_true",
+                    help="rewrite the budget file from the current "
+                    "object (use when the fast path intentionally "
+                    "changes; review the diff)")
+    ap.add_argument("--headroom", type=float, default=1.5,
+                    help="budget multiplier applied by --update-budget "
+                    "(default 1.5: room for compiler variation)")
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args()
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(here))
+    objfile = args.object or default_object(root)
+    budget_path = args.budget or os.path.join(here, "fastpath_budget.txt")
+
+    if not os.path.exists(objfile):
+        print(f"fastpath_guard: object not found: {objfile}\n"
+              "  build first: cmake --build --preset default",
+              file=sys.stderr)
+        return 2
+
+    regions = parse_disassembly(objfile)
+
+    missing = [f"{op}:{p}" for op in OPS for p in POLICIES
+               if f"{op}:{p}" not in regions]
+    if missing:
+        print("fastpath_guard: expected symbols missing from "
+              f"{objfile}: {', '.join(missing)}", file=sys.stderr)
+        return 1
+
+    if args.update_budget:
+        with open(budget_path, "w", encoding="utf-8") as f:
+            f.write(
+                "# Fast-path instruction budgets "
+                "(tools/lint/fastpath_guard.py).\n"
+                "# <op>:<Policy> <max instructions entry..first ret>\n"
+                "# Regenerate with --update-budget after an intentional\n"
+                "# fast-path change; the diff is the review artifact.\n"
+            )
+            for key in sorted(regions):
+                limit = int(len(regions[key]) * args.headroom + 0.5)
+                f.write(f"{key} {limit}\n")
+        print(f"fastpath_guard: wrote {budget_path}")
+        return 0
+
+    budgets = load_budget(budget_path)
+    status = 0
+    for key in sorted(regions):
+        insns = regions[key]
+        count = len(insns)
+        problems = []
+        calls = [m for m in insns if m in CALL_MNEMONICS]
+        if calls:
+            problems.append(
+                f"{len(calls)} call instruction(s) in the fast-path "
+                "region — the fast path must not call out before "
+                "reaching the slow-path branch"
+            )
+        if key in MUST_CAS and not any(CAS_SUBSTR in m for m in insns):
+            problems.append(
+                "no cmpxchg in the fast-path region — the thin "
+                "acquire must be a CAS"
+            )
+        if key not in budgets:
+            problems.append(
+                f"no committed budget for this symbol (add '{key} N' "
+                f"to {os.path.relpath(budget_path, root)})"
+            )
+        elif count > budgets[key]:
+            problems.append(
+                f"{count} instructions exceeds the committed budget "
+                f"of {budgets[key]}"
+            )
+        if problems:
+            status = 1
+            print(f"FAIL {key} ({count} insns):")
+            for p in problems:
+                print(f"  - {p}")
+            if args.verbose:
+                print("    " + " ".join(insns))
+        else:
+            note = f"{count}/{budgets[key]} insns, no calls"
+            if key in MUST_CAS:
+                note += ", CAS present"
+            print(f"  OK {key}: {note}")
+            if args.verbose:
+                print("    " + " ".join(insns))
+
+    stale = set(budgets) - set(regions)
+    for key in sorted(stale):
+        status = 1
+        print(f"FAIL stale budget entry (no such symbol): {key}")
+
+    if status == 0:
+        print(f"fastpath_guard: OK ({len(regions)} fast-path symbols "
+              "within budget, call-free)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
