@@ -52,11 +52,11 @@ struct Fixture {
     std::atomic<bool> Started{false};
     std::thread Contender([&] {
       ScopedThreadAttachment Other(Registry);
-      Started.store(true);
+      Started.store(true, std::memory_order_release);
       Locks.lock(Obj, Other.context());
       Locks.unlock(Obj, Other.context());
     });
-    while (!Started.load())
+    while (!Started.load(std::memory_order_acquire))
       std::this_thread::yield();
     std::this_thread::sleep_for(std::chrono::microseconds(200));
     Locks.unlock(Obj, Me.context());

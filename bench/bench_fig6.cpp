@@ -81,8 +81,8 @@ void Fig6_NOP(benchmark::State &State) {
 
 template <typename Policy, bool DynamicFlagMp = true>
 void Fig6_Variant(benchmark::State &State, const char *VariantName) {
-  bool SavedFlag = MachineIsMultiprocessor.load();
-  MachineIsMultiprocessor.store(DynamicFlagMp);
+  bool SavedFlag = MachineIsMultiprocessor.load(std::memory_order_relaxed);
+  MachineIsMultiprocessor.store(DynamicFlagMp, std::memory_order_relaxed);
 
   Heap TheHeap;
   ThreadRegistry Registry;
@@ -97,7 +97,7 @@ void Fig6_Variant(benchmark::State &State, const char *VariantName) {
   State.SetItemsProcessed(State.iterations() * Inner);
   State.SetLabel(std::string(VariantName) + "/" + kernelName(K));
 
-  MachineIsMultiprocessor.store(SavedFlag);
+  MachineIsMultiprocessor.store(SavedFlag, std::memory_order_relaxed);
 }
 
 void Fig6_Inline(benchmark::State &State) {

@@ -235,7 +235,7 @@ void Wakeup_NotifyAllStorm_CondvarRef(benchmark::State &State) {
   const int NumWaiters = static_cast<int>(State.range(0));
   std::mutex Mutex;
   std::condition_variable Cv;
-  bool Done = false;      // Guarded by Mutex.
+  bool Stop = false;      // Guarded by Mutex.
   uint64_t Generation = 0; // Guarded by Mutex.
   std::atomic<int> Waiting{0};
   std::atomic<int> Woken{0};
@@ -246,13 +246,13 @@ void Wakeup_NotifyAllStorm_CondvarRef(benchmark::State &State) {
       uint64_t Seen = 0;
       for (;;) {
         std::unique_lock<std::mutex> Guard(Mutex);
-        while (!Done && Generation == Seen) {
+        while (!Stop && Generation == Seen) {
           Waiting.fetch_add(1, std::memory_order_release);
           Cv.wait(Guard);
           Waiting.fetch_sub(1, std::memory_order_relaxed);
         }
         Seen = Generation;
-        bool Exit = Done;
+        bool Exit = Stop;
         Guard.unlock();
         if (Exit)
           return;
@@ -280,7 +280,7 @@ void Wakeup_NotifyAllStorm_CondvarRef(benchmark::State &State) {
 
   {
     std::lock_guard<std::mutex> Guard(Mutex);
-    Done = true;
+    Stop = true;
   }
   Cv.notify_all();
   for (auto &T : Waiters)

@@ -144,6 +144,27 @@ if [ "${BENCH_TRACE:-0}" != 0 ]; then
   STAGED+=(BENCH_trace.json)
 fi
 
+# Optional sustained-load soak artifact: SLO quantiles, admission-ladder
+# residency, and typed-error accounting from one self-checking bench_soak
+# run (BENCH_SOAK_ARGS overrides the default profile, e.g. a longer
+# --duration-s or --chaos against a failpoints build).  Staged with the
+# same all-or-nothing discipline — a failed self-check publishes nothing.
+if [ "${BENCH_SOAK:-0}" != 0 ]; then
+  if [ ! -x "$BUILD_DIR/bench/bench_soak" ]; then
+    echo "error: BENCH_SOAK=1 but $BUILD_DIR/bench/bench_soak is not built." >&2
+    exit 1
+  fi
+  echo "== bench_soak" >&2
+  # shellcheck disable=SC2086  # word-splitting of the args is the point
+  if ! "$BUILD_DIR/bench/bench_soak" ${BENCH_SOAK_ARGS:---duration-s 10} \
+       --out "$TMP/staged/BENCH_soak.json" >&2; then
+    echo "error: bench_soak failed; aborting without touching the" \
+         "committed BENCH_*.json files." >&2
+    exit 1
+  fi
+  STAGED+=(BENCH_soak.json)
+fi
+
 # Everything succeeded: publish the staged files together.
 for Name in "${STAGED[@]}"; do
   mv -f "$TMP/staged/$Name" "$OUT_DIR/$Name"

@@ -104,6 +104,16 @@ public:
   /// \returns the configured capacity (largest index in use).
   uint32_t capacity() const { return Capacity; }
 
+  /// \returns allocated monitors as a fraction of capacity — the
+  /// occupancy signal admission control watches.  Monotone by design:
+  /// indices are never reused (see allocate()), so occupancy only ever
+  /// rises; the *reactive* exhaustion signals (exhaustionEvents, typed
+  /// errors, emergency inflations) are what recede when pressure lifts.
+  double occupancy() const {
+    return static_cast<double>(LiveCount.load(std::memory_order_relaxed)) /
+           static_cast<double>(Capacity);
+  }
+
   /// \returns how many monitors have been allocated (excluding the
   /// emergency monitor).
   uint32_t liveMonitorCount() const {

@@ -1,0 +1,137 @@
+//===- load/SessionWorkload.cpp - Session-scoped soak workload ------------===//
+
+#include "load/SessionWorkload.h"
+
+#include "heap/Heap.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace thinlocks;
+using namespace thinlocks::load;
+
+namespace {
+
+/// Busy-think standing in for request service time.  Spinning (not
+/// sleeping) keeps sub-10µs think times honest on a 1-CPU host, where a
+/// sleep's wakeup quantum would dwarf the think itself.
+void thinkFor(uint64_t Nanos) {
+  if (Nanos == 0)
+    return;
+  uint64_t Deadline = monotonicNanos() + Nanos;
+  while (monotonicNanos() < Deadline) {
+  }
+}
+
+} // namespace
+
+SessionWorkload::SessionWorkload(ThinLockManager &Locks, Heap &TheHeap,
+                                 ThreadRegistry &Registry, size_t HotObjects,
+                                 double ZipfTheta, SessionParams Params)
+    : Locks(Locks), TheHeap(TheHeap), Registry(Registry),
+      Popularity(std::max<size_t>(HotObjects, 1), ZipfTheta),
+      Params(Params) {
+  HotClass = &TheHeap.classes().registerClass("SoakHot", 2);
+  PrivateClass = &TheHeap.classes().registerClass("SoakPrivate", 1);
+  Hot.reserve(Popularity.universe());
+  for (size_t I = 0; I < Popularity.universe(); ++I)
+    Hot.push_back(TheHeap.allocate(*HotClass));
+  Rendezvous = TheHeap.allocate(*HotClass);
+}
+
+void SessionWorkload::lightRequest(const ThreadContext &Ctx,
+                                   SplitMix64 &Rng, SessionOutcome &Out,
+                                   LatencyHistogram &AcquireHist) {
+  Object *Obj = Hot[Popularity.sample(Rng)];
+  bool Nest =
+      Params.NestOneIn != 0 && Rng.nextBounded(Params.NestOneIn) == 0;
+  StopWatch Watch;
+  Locks.lock(Obj, Ctx);
+  uint64_t AcquireNanos = Watch.elapsedNanos();
+  AcquireHist.record(AcquireNanos);
+  Out.MaxAcquireNanos = std::max(Out.MaxAcquireNanos, AcquireNanos);
+  if (Nest) {
+    // Exercise the paper's §2.3.3 inline-nesting path under load.
+    Locks.lock(Obj, Ctx);
+    thinkFor(Params.ThinkNanos / 2);
+    Locks.unlock(Obj, Ctx);
+    thinkFor(Params.ThinkNanos / 2);
+  } else {
+    thinkFor(Params.ThinkNanos);
+  }
+  Locks.unlock(Obj, Ctx);
+  if (Params.NotifyOneIn != 0 &&
+      Rng.nextBounded(Params.NotifyOneIn) == 0) {
+    // Release any heavy sessions parked at the rendezvous: the directed
+    // unpark behind the time-to-wake quantiles.
+    Locks.lock(Rendezvous, Ctx);
+    Locks.notifyAll(Rendezvous, Ctx);
+    Locks.unlock(Rendezvous, Ctx);
+  }
+  ++Out.Requests;
+}
+
+SessionOutcome SessionWorkload::run(const ThreadContext &Worker,
+                                    SplitMix64 &Rng, bool Heavy,
+                                    bool Degraded,
+                                    LatencyHistogram &AcquireHist) {
+  SessionOutcome Out;
+  if (!Heavy || Degraded) {
+    // Light shape — including heavy sessions admitted degraded: same
+    // request volume, zero monitor allocations (the EmergencyOnly
+    // contract).
+    uint32_t N = Heavy ? Params.HeavyRequests : Params.LightRequests;
+    for (uint32_t I = 0; I < N; ++I)
+      lightRequest(Worker, Rng, Out, AcquireHist);
+    return Out;
+  }
+
+  // Heavy shape.  First consume a registry slot the way a real tenant
+  // thread would: an ephemeral attach.  Under the
+  // `threadregistry.exhausted` failpoint (or a genuinely full registry)
+  // this yields the typed AttachError and the session degrades to the
+  // worker's identity instead of failing — the error feeds admission
+  // control through the registry's exhaustion counter.
+  AttachError Error = AttachError::None;
+  ThreadContext Ephemeral = Registry.attach("soak-session", &Error);
+  const ThreadContext &Ctx = Ephemeral.isValid() ? Ephemeral : Worker;
+  Out.AttachFallback = !Ephemeral.isValid();
+
+  // Inflation-heavy phase: private objects driven onto their fat-lock
+  // representation, each costing one MonitorTable::allocate().  A
+  // wait-timeout inflates per the paper (only fat locks have wait
+  // queues); the hint inflations model pre-inflated shared structures.
+  for (uint32_t I = 0; I < Params.HeavyPrivateObjects; ++I) {
+    Object *Priv = TheHeap.allocate(*PrivateClass);
+    StopWatch Watch;
+    Locks.lock(Priv, Ctx);
+    uint64_t AcquireNanos = Watch.elapsedNanos();
+    AcquireHist.record(AcquireNanos);
+    Out.MaxAcquireNanos = std::max(Out.MaxAcquireNanos, AcquireNanos);
+    if (I == 0) {
+      Locks.wait(Priv, Ctx, Params.WaitTimeoutNanos);
+    } else {
+      Locks.inflate(Priv, Ctx);
+    }
+    ++Out.MonitorsRequested;
+    Locks.unlock(Priv, Ctx);
+    ++Out.Requests;
+  }
+
+  // Park at the shared rendezvous until a light session notifies (or the
+  // bounded timeout).  A notified wake is a real blocked-park unpark, so
+  // this is what populates the Wake histogram under load.
+  if (Params.RendezvousTimeoutNanos > 0) {
+    Locks.lock(Rendezvous, Ctx);
+    Locks.wait(Rendezvous, Ctx, Params.RendezvousTimeoutNanos);
+    Locks.unlock(Rendezvous, Ctx);
+  }
+
+  // Then serve its requests against the shared hot set like any tenant.
+  for (uint32_t I = 0; I < Params.HeavyRequests; ++I)
+    lightRequest(Ctx, Rng, Out, AcquireHist);
+
+  if (Ephemeral.isValid())
+    Registry.detach(Ephemeral);
+  return Out;
+}

@@ -4,6 +4,7 @@
 
 #include "heap/ClassInfo.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <map>
@@ -84,10 +85,18 @@ bool isDurationKind(EventKind Kind) {
 
 std::string obs::toChromeTraceJson(const std::vector<LockEvent> &Events,
                                    const ClassRegistry *Classes) {
+  return toChromeTraceJson(Events, std::vector<TraceSpan>(), Classes);
+}
+
+std::string obs::toChromeTraceJson(const std::vector<LockEvent> &Events,
+                                   const std::vector<TraceSpan> &Spans,
+                                   const ClassRegistry *Classes) {
   // Rebase to the earliest start so the viewer timeline begins at 0.
   uint64_t Base = UINT64_MAX;
   for (const LockEvent &E : Events)
     Base = std::min(Base, startNanosOf(E));
+  for (const TraceSpan &S : Spans)
+    Base = std::min(Base, S.StartNanos);
   if (Base == UINT64_MAX)
     Base = 0;
 
@@ -134,6 +143,33 @@ std::string obs::toChromeTraceJson(const std::vector<LockEvent> &Events,
     if (E.Kind == EventKind::ContendedAcquire) {
       Out += ",\"queue\":";
       Out += std::to_string(E.Extra);
+    }
+    Out += "}}";
+  }
+  for (const TraceSpan &S : Spans) {
+    if (!First)
+      Out += ",";
+    First = false;
+    uint64_t End = std::max(S.EndNanos, S.StartNanos);
+    Out += "{\"name\":\"";
+    Out += jsonEscape(S.Name);
+    Out += "\",\"cat\":\"session\",\"ph\":\"X\",\"ts\":";
+    Out += microsOf(S.StartNanos - Base);
+    Out += ",\"dur\":";
+    Out += microsOf(End - S.StartNanos);
+    Out += ",\"pid\":1,\"tid\":";
+    Out += std::to_string(S.Tid);
+    Out += ",\"args\":{";
+    bool FirstArg = true;
+    for (const auto &Arg : S.Args) {
+      if (!FirstArg)
+        Out += ",";
+      FirstArg = false;
+      Out += "\"";
+      Out += jsonEscape(Arg.first);
+      Out += "\":\"";
+      Out += jsonEscape(Arg.second);
+      Out += "\"";
     }
     Out += "}}";
   }

@@ -24,6 +24,7 @@
 #include "obs/LockEvents.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace thinlocks {
@@ -32,11 +33,33 @@ class ClassRegistry;
 
 namespace obs {
 
+/// A caller-defined duration lane entry rendered alongside the lock
+/// events — the soak harness uses these to overlay its worst sessions on
+/// the lock timeline so "why was this session slow" is one trace load.
+/// Rendered as a complete ("X") event in category "session".
+struct TraceSpan {
+  std::string Name;       ///< Display name ("session#1234").
+  uint32_t Tid = 0;       ///< Timeline lane (worker's thread index).
+  uint64_t StartNanos = 0;
+  uint64_t EndNanos = 0;  ///< Must be >= StartNanos.
+  /// Extra key/value pairs for the span's args.  Values are emitted as
+  /// JSON strings (escaped).
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
 /// Renders \p Events as a Chrome trace_event JSON document.  Timestamps
 /// are rebased to the earliest event start so the viewer opens at t=0.
 /// When \p Classes is non-null, class names are included in event args.
 std::string toChromeTraceJson(const std::vector<LockEvent> &Events,
                               const ClassRegistry *Classes = nullptr);
+
+/// Like the two-argument overload, but additionally renders \p Spans as
+/// "X" duration events (category "session") on the same rebased
+/// timeline.  The rebase origin is the minimum over event starts *and*
+/// span starts, so spans and the lock events they contain line up.
+std::string toChromeTraceJson(const std::vector<LockEvent> &Events,
+                              const std::vector<TraceSpan> &Spans,
+                              const ClassRegistry *Classes);
 
 /// Validates that \p Json is well-formed JSON *and* matches the
 /// trace_event object-format schema: a top-level object whose

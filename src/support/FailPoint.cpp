@@ -2,6 +2,8 @@
 
 #include "support/FailPoint.h"
 
+#include "support/Fatal.h"
+
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -176,13 +178,46 @@ bool thinlocks::failpoint::armFromSpec(const std::string &Spec,
   return true;
 }
 
+size_t thinlocks::failpoint::armFromSpecCollect(
+    const std::string &Spec, std::vector<std::string> *Errors) {
+  size_t Applied = 0;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    size_t End = Comma == std::string::npos ? Spec.size() : Comma;
+    if (End > Pos) {
+      std::string Error;
+      if (armOne(Spec.substr(Pos, End - Pos), &Error))
+        ++Applied;
+      else if (Errors)
+        Errors->push_back(std::move(Error));
+    }
+    Pos = End + 1;
+  }
+  return Applied;
+}
+
 void thinlocks::failpoint::armFromEnvironment() {
   const char *Spec = std::getenv("THINLOCKS_FAILPOINTS");
   if (!Spec || *Spec == '\0')
     return;
-  std::string Error;
-  if (!armFromSpec(Spec, &Error))
-    std::fprintf(stderr,
-                 "thinlocks: ignoring rest of THINLOCKS_FAILPOINTS: %s\n",
-                 Error.c_str());
+  std::vector<std::string> Errors;
+  armFromSpecCollect(Spec, &Errors);
+  if (Errors.empty())
+    return;
+  // A malformed clause means some intended injection is NOT armed; an
+  // "armed" test rerun would pass without testing anything.  Report every
+  // problem (and the vocabulary) once, then die.
+  std::fprintf(stderr, "thinlocks: malformed THINLOCKS_FAILPOINTS=\"%s\"\n",
+               Spec);
+  for (const std::string &Error : Errors)
+    std::fprintf(stderr, "thinlocks:   %s\n", Error.c_str());
+  std::fprintf(stderr,
+               "thinlocks: valid failpoints (modes: always, times:N, "
+               "oneIn:N, off):\n");
+  for (unsigned I = 0; I < NumIds; ++I)
+    std::fprintf(stderr, "thinlocks:   %s\n", Names[I]);
+  fatalError("refusing to run with a malformed THINLOCKS_FAILPOINTS "
+             "spec (%zu bad clause(s))",
+             Errors.size());
 }

@@ -35,6 +35,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace thinlocks {
 namespace failpoint {
@@ -92,9 +93,21 @@ uint64_t evalCount(Id I);
 /// before the error are still applied.
 bool armFromSpec(const std::string &Spec, std::string *Error = nullptr);
 
-/// Applies the THINLOCKS_FAILPOINTS environment variable, if set.  Called
-/// automatically during static initialization; malformed specs are
-/// reported to stderr and ignored.
+/// Like armFromSpec, but parses the *whole* spec, applying every valid
+/// clause and collecting one message per malformed clause into
+/// \p Errors (when non-null).  \returns the number of clauses applied.
+/// This is the environment-variable parser: reporting every typo at
+/// once beats fixing them one rerun at a time.
+size_t armFromSpecCollect(const std::string &Spec,
+                          std::vector<std::string> *Errors);
+
+/// Applies the THINLOCKS_FAILPOINTS environment variable, if set.
+/// Called automatically during static initialization.  A malformed
+/// clause is *fatal*: every error is reported to stderr together with
+/// the full list of valid failpoint names, then the process aborts.  A
+/// typo'd spec silently arming nothing would make an "armed" test rerun
+/// (e.g. the injection-armed conformance pass) vacuously green — fail
+/// it loudly at startup instead.
 void armFromEnvironment();
 
 /// Evaluates \p I's mode and counters as if at an injection site.

@@ -14,8 +14,16 @@ namespace {
 thread_local ThreadContext CurrentThreadContext;
 } // namespace
 
-ThreadRegistry::ThreadRegistry()
-    : Slots(static_cast<size_t>(MaxThreadIndex) + 1) {
+ThreadRegistry::ThreadRegistry(uint16_t Capacity)
+    : Slots(static_cast<size_t>(
+                Capacity == 0
+                    ? 1
+                    : (Capacity > MaxThreadIndex ? MaxThreadIndex
+                                                 : Capacity)) +
+            1),
+      Cap(Capacity == 0 ? 1
+                        : (Capacity > MaxThreadIndex ? MaxThreadIndex
+                                                     : Capacity)) {
   for (auto &Slot : Slots)
     Slot.store(nullptr, std::memory_order_relaxed);
   Storage.resize(Slots.size());
@@ -54,7 +62,7 @@ ThreadContext ThreadRegistry::attach(std::string Name, AttachError *Error) {
   if (!FreeIndices.empty()) {
     Index = FreeIndices.back();
     FreeIndices.pop_back();
-  } else if (NextFreshIndex <= MaxThreadIndex) {
+  } else if (NextFreshIndex <= Cap) {
     Index = NextFreshIndex++;
   } else {
     // Fresh space is gone: give quarantined indices a second look — the
@@ -67,7 +75,7 @@ ThreadContext ThreadRegistry::attach(std::string Name, AttachError *Error) {
       ExhaustionEvents.fetch_add(1, std::memory_order_relaxed);
       if (Error)
         *Error = AttachError::Exhausted;
-      return ThreadContext(); // Exhausted: 32767 live threads.
+      return ThreadContext(); // Exhausted: Cap live/quarantined indices.
     }
   }
 
@@ -155,9 +163,19 @@ void ThreadRegistry::detach(ThreadContext &Ctx) {
 }
 
 const ThreadInfo *ThreadRegistry::info(uint16_t Index) const {
-  if (Index == 0 || Index > MaxThreadIndex)
+  if (Index == 0 || Index > Cap)
     return nullptr;
   return Slots[Index].load(std::memory_order_acquire);
+}
+
+double ThreadRegistry::occupancy() const {
+  uint32_t Live = LiveCount.load(std::memory_order_relaxed);
+  uint32_t Parked;
+  {
+    LockGuard Guard(Mu);
+    Parked = static_cast<uint32_t>(Quarantined.size());
+  }
+  return static_cast<double>(Live + Parked) / static_cast<double>(Cap);
 }
 
 void ThreadRegistry::setBlockedOn(const ThreadContext &Ctx,

@@ -82,15 +82,20 @@ public:
   /// heap-scanning implementation.
   using IndexAuditor = std::function<bool(uint16_t Index)>;
 
-  ThreadRegistry();
+  /// \param Capacity largest thread index this registry hands out
+  /// (default: the full 15-bit space).  Shrinking it lets exhaustion and
+  /// admission-control tests hit the wall without attaching 32767
+  /// threads, and lets a deployment reserve headroom below the encoding
+  /// limit.  Clamped to [1, MaxThreadIndex].
+  explicit ThreadRegistry(uint16_t Capacity = MaxThreadIndex);
   ~ThreadRegistry();
 
   ThreadRegistry(const ThreadRegistry &) = delete;
   ThreadRegistry &operator=(const ThreadRegistry &) = delete;
 
   /// Registers the calling thread and assigns it an index.  \returns an
-  /// invalid context (isValid() == false) if all 32767 indices are in
-  /// use; when \p Error is non-null it receives the typed reason.
+  /// invalid context (isValid() == false) if all capacity() indices are
+  /// in use; when \p Error is non-null it receives the typed reason.
   ThreadContext attach(std::string Name = std::string(),
                        AttachError *Error = nullptr) TL_EXCLUDES(Mu);
 
@@ -133,6 +138,13 @@ public:
     return LiveCount.load(std::memory_order_relaxed);
   }
 
+  /// \returns the configured index capacity (largest attachable index).
+  uint16_t capacity() const { return Cap; }
+
+  /// \returns live + quarantined indices as a fraction of capacity —
+  /// the occupancy signal admission control watches.  Racy snapshot.
+  double occupancy() const TL_EXCLUDES(Mu);
+
   /// \returns the high-water mark of simultaneously attached threads.
   uint32_t peakThreadCount() const {
     return PeakCount.load(std::memory_order_relaxed);
@@ -164,6 +176,7 @@ private:
   std::vector<uint16_t> FreeIndices TL_GUARDED_BY(Mu);
   std::vector<uint16_t> Quarantined TL_GUARDED_BY(Mu);
   IndexAuditor Auditor TL_GUARDED_BY(Mu);
+  uint16_t Cap = MaxThreadIndex;
   uint16_t NextFreshIndex TL_GUARDED_BY(Mu) = 1;
   std::atomic<uint32_t> LiveCount{0};
   std::atomic<uint32_t> PeakCount{0};

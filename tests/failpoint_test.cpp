@@ -24,6 +24,7 @@
 #include <chrono>
 #include <string>
 #include <thread>
+#include <vector>
 
 using namespace thinlocks;
 namespace fp = thinlocks::failpoint;
@@ -177,6 +178,46 @@ TEST_F(FailPointTest, ValidPrefixOfPartlyMalformedSpecStillApplies) {
   std::string Error;
   EXPECT_FALSE(
       fp::armFromSpec("thinlock.initial-cas=always,bogus=always", &Error));
+  EXPECT_TRUE(fp::evaluate(fp::Id::ThinLockInitialCas));
+}
+
+TEST_F(FailPointTest, CollectAppliesValidClausesAroundBadOnes) {
+  // armFromSpecCollect is the startup-hardening variant behind
+  // THINLOCKS_FAILPOINTS env parsing: it applies every valid clause and
+  // reports *all* bad ones (armFromSpec stops at the first), so the
+  // fatal startup diagnostic can list everything wrong with the spec.
+  std::vector<std::string> Errors;
+  size_t Applied = fp::armFromSpecCollect(
+      "thinlock.initial-cas=always,bogus=always,"
+      "spinwait.preempt=sometimes,monitortable.exhausted=times:2",
+      &Errors);
+  EXPECT_EQ(Applied, 2u);
+  ASSERT_EQ(Errors.size(), 2u);
+  EXPECT_NE(Errors[0].find("bogus"), std::string::npos);
+  EXPECT_NE(Errors[1].find("sometimes"), std::string::npos);
+  // The valid clauses on either side of the bad ones took effect.
+  EXPECT_TRUE(fp::evaluate(fp::Id::ThinLockInitialCas));
+  EXPECT_TRUE(fp::evaluate(fp::Id::MonitorTableExhausted));
+  EXPECT_TRUE(fp::evaluate(fp::Id::MonitorTableExhausted));
+  EXPECT_FALSE(fp::evaluate(fp::Id::MonitorTableExhausted));
+  // The misspelled-mode clause must not have armed its (valid) point.
+  EXPECT_FALSE(fp::evaluate(fp::Id::SpinWaitPreempt));
+}
+
+TEST_F(FailPointTest, CollectCleanSpecReportsNoErrors) {
+  std::vector<std::string> Errors;
+  size_t Applied =
+      fp::armFromSpecCollect("park.spurious=oneIn:2,spinwait.preempt=off",
+                             &Errors);
+  EXPECT_EQ(Applied, 2u);
+  EXPECT_TRUE(Errors.empty());
+}
+
+TEST_F(FailPointTest, CollectToleratesNullErrorsAndEmptySpec) {
+  EXPECT_EQ(fp::armFromSpecCollect("", nullptr), 0u);
+  EXPECT_EQ(fp::armFromSpecCollect("garbage", nullptr), 0u);
+  EXPECT_EQ(fp::armFromSpecCollect("thinlock.initial-cas=always", nullptr),
+            1u);
   EXPECT_TRUE(fp::evaluate(fp::Id::ThinLockInitialCas));
 }
 

@@ -159,6 +159,135 @@ TEST(Histogram, MergeAndReset) {
 }
 
 //===----------------------------------------------------------------------===//
+// LatencyHistogram
+//===----------------------------------------------------------------------===//
+
+TEST(LatencyHistogram, EmptyIsAllZeros) {
+  LatencyHistogram H;
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.mean(), 0u);
+  EXPECT_EQ(H.quantile(0.0), 0u);
+  EXPECT_EQ(H.quantile(0.5), 0u);
+  EXPECT_EQ(H.quantile(1.0), 0u);
+}
+
+TEST(LatencyHistogram, SingleSampleIsEveryQuantile) {
+  LatencyHistogram H;
+  H.record(12345);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.min(), 12345u);
+  EXPECT_EQ(H.max(), 12345u);
+  EXPECT_EQ(H.mean(), 12345u);
+  for (double Q : {0.0, 0.25, 0.5, 0.99, 0.999, 1.0})
+    EXPECT_EQ(H.quantile(Q), 12345u) << "Q=" << Q;
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Values below SubBuckets have their own unit-width buckets.
+  LatencyHistogram H;
+  for (uint64_t V = 0; V < LatencyHistogram::SubBuckets; ++V)
+    EXPECT_EQ(LatencyHistogram::bucketOf(V), V);
+  H.record(3);
+  H.record(7);
+  H.record(7);
+  H.record(9);
+  EXPECT_EQ(H.quantile(0.5), 7u);
+  EXPECT_EQ(H.quantile(1.0), 9u);
+  EXPECT_EQ(H.quantile(0.0), 3u);
+}
+
+TEST(LatencyHistogram, QuantileOrderIsMonotone) {
+  LatencyHistogram H;
+  SplitMix64 Rng(17);
+  for (int I = 0; I < 5000; ++I)
+    H.record(Rng.nextBounded(1u << 20));
+  uint64_t Prev = 0;
+  for (double Q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    uint64_t Value = H.quantile(Q);
+    EXPECT_GE(Value, Prev) << "quantile regressed at Q=" << Q;
+    EXPECT_GE(Value, H.min());
+    EXPECT_LE(Value, H.max());
+    Prev = Value;
+  }
+}
+
+TEST(LatencyHistogram, QuantileRelativeErrorIsBounded) {
+  // Log-linear bucketing promises <= 1/16 relative bucket width: a
+  // quantile estimate never overshoots the true value by more than that
+  // (estimates report the bucket's high bound).
+  LatencyHistogram H;
+  for (uint64_t I = 1; I <= 10000; ++I)
+    H.record(I);
+  for (double Q : {0.5, 0.9, 0.99}) {
+    double Exact = Q * 10000;
+    double Estimate = static_cast<double>(H.quantile(Q));
+    EXPECT_GE(Estimate, Exact * 0.99) << "Q=" << Q;
+    EXPECT_LE(Estimate, Exact * 1.08) << "Q=" << Q;
+  }
+}
+
+TEST(LatencyHistogram, SaturationReportsTrueMax) {
+  LatencyHistogram H;
+  H.record(100);
+  uint64_t Huge = LatencyHistogram::MaxTrackable + 12345;
+  H.record(Huge);
+  EXPECT_EQ(H.saturatedCount(), 1u);
+  // A quantile landing in the saturation bucket must report the real
+  // recorded max, not a bucket bound.
+  EXPECT_EQ(H.quantile(1.0), Huge);
+  EXPECT_EQ(H.quantile(0.999), Huge);
+  EXPECT_EQ(H.max(), Huge);
+}
+
+TEST(LatencyHistogram, BucketBoundsRoundTrip) {
+  for (size_t I = 0; I < LatencyHistogram::NumBuckets; ++I) {
+    uint64_t Low = LatencyHistogram::bucketLow(I);
+    uint64_t High = LatencyHistogram::bucketHigh(I);
+    EXPECT_LE(Low, High);
+    EXPECT_EQ(LatencyHistogram::bucketOf(Low), I);
+    EXPECT_EQ(LatencyHistogram::bucketOf(High), I);
+    if (I > 0)
+      EXPECT_EQ(LatencyHistogram::bucketHigh(I - 1) + 1, Low)
+          << "gap or overlap before bucket " << I;
+  }
+}
+
+TEST(LatencyHistogram, MergeCombinesEverything) {
+  LatencyHistogram A, B, Reference;
+  SplitMix64 Rng(29);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = Rng.nextBounded(1u << 24);
+    (I % 2 == 0 ? A : B).record(V);
+    Reference.record(V);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), Reference.count());
+  EXPECT_EQ(A.min(), Reference.min());
+  EXPECT_EQ(A.max(), Reference.max());
+  EXPECT_EQ(A.mean(), Reference.mean());
+  for (double Q : {0.1, 0.5, 0.99})
+    EXPECT_EQ(A.quantile(Q), Reference.quantile(Q));
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentityBothWays) {
+  LatencyHistogram A, Empty;
+  A.record(5);
+  A.record(500);
+  LatencyHistogram Copy = A;
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 2u);
+  EXPECT_EQ(A.min(), Copy.min());
+  EXPECT_EQ(A.max(), Copy.max());
+  Empty.merge(Copy);
+  EXPECT_EQ(Empty.count(), 2u);
+  EXPECT_EQ(Empty.min(), 5u);
+  EXPECT_EQ(Empty.max(), 500u);
+}
+
+//===----------------------------------------------------------------------===//
 // StatsCounter
 //===----------------------------------------------------------------------===//
 

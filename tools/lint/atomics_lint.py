@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Atomics-discipline lint for the thinlocks sources.
 
-Rule: every atomic operation in src/ must name an explicit
-std::memory_order, and must not use memory_order_seq_cst, unless the
-site is allowlisted with a one-line justification.
+Rule: every atomic operation in the linted subtrees (src/ and bench/ by
+default) must name an explicit std::memory_order, and must not use
+memory_order_seq_cst, unless the site is allowlisted with a one-line
+justification.
 
 Why: the thin-lock protocol's correctness argument is written in terms
 of specific acquire/release edges (DESIGN.md section 11).  An implicit
@@ -257,7 +258,9 @@ def main():
         help="repository root (default: two levels above this script)",
     )
     ap.add_argument(
-        "--src", default="src", help="source subtree to lint"
+        "--src", action="append", default=None,
+        help="source subtree to lint, relative to --root; repeatable "
+        "(default: src and bench)",
     )
     ap.add_argument(
         "--allowlist", default=None,
@@ -275,21 +278,26 @@ def main():
     used = set()
 
     findings = []
-    src_root = os.path.join(root, args.src)
-    for dirpath, _, filenames in os.walk(src_root):
-        for fn in sorted(filenames):
-            if not fn.endswith((".h", ".cpp", ".hpp", ".cc")):
-                continue
-            full = os.path.join(dirpath, fn)
-            rel = os.path.relpath(full, root).replace(os.sep, "/")
-            with open(full, encoding="utf-8") as f:
-                text = f.read()
-            for finding in scan_file(rel, text):
-                entry = (finding.path, finding.key)
-                if finding.key is not None and entry in allow:
-                    used.add(entry)
+    for src in args.src or ["src", "bench"]:
+        src_root = os.path.join(root, src)
+        if not os.path.isdir(src_root):
+            print(f"error: no such source subtree: {src_root}",
+                  file=sys.stderr)
+            return 2
+        for dirpath, _, filenames in os.walk(src_root):
+            for fn in sorted(filenames):
+                if not fn.endswith((".h", ".cpp", ".hpp", ".cc")):
                     continue
-                findings.append(finding)
+                full = os.path.join(dirpath, fn)
+                rel = os.path.relpath(full, root).replace(os.sep, "/")
+                with open(full, encoding="utf-8") as f:
+                    text = f.read()
+                for finding in scan_file(rel, text):
+                    entry = (finding.path, finding.key)
+                    if finding.key is not None and entry in allow:
+                        used.add(entry)
+                        continue
+                    findings.append(finding)
 
     status = 0
     for f in sorted(findings, key=lambda f: (f.path, f.line)):
