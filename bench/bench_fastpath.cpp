@@ -20,6 +20,8 @@
 #include "heap/Heap.h"
 #include "threads/ThreadRegistry.h"
 
+#include "BenchContext.h"
+
 #include <benchmark/benchmark.h>
 
 #include <mutex>

@@ -29,6 +29,8 @@
 #include "vm/NativeLibrary.h"
 #include "workload/MicroBench.h"
 
+#include "BenchContext.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace thinlocks;

@@ -25,6 +25,8 @@
 #include "threads/ThreadRegistry.h"
 #include "workload/MicroBench.h"
 
+#include "BenchContext.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace thinlocks;

@@ -23,6 +23,8 @@
 
 #include "BenchRusage.h"
 
+#include "BenchContext.h"
+
 #include <benchmark/benchmark.h>
 
 #include <memory>

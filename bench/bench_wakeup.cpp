@@ -31,6 +31,8 @@
 
 #include "BenchRusage.h"
 
+#include "BenchContext.h"
+
 #include <benchmark/benchmark.h>
 
 #include <atomic>

@@ -26,6 +26,13 @@
 #   BENCH_TRACE=1   also run macro_trace (if built) and stage
 #                   BENCH_trace.json, a Chrome trace_event artifact of a
 #                   traced macro replay (see DESIGN.md §10).
+#   BENCH_ADAPTIVE=1  also run bench_adaptive (the profiler->policy A/B,
+#                   DESIGN.md §13) and stage BENCH_adaptive.json.
+#
+# Every suite must have been built with NDEBUG (the bench preset): the
+# merge refuses to publish a document whose thinlocks_build_type context
+# field is not "release" (see bench/BenchContext.h for why the library's
+# own library_build_type field cannot be the gate).
 #
 #===----------------------------------------------------------------------===#
 set -euo pipefail
@@ -44,8 +51,15 @@ OUT_DIR="${BENCH_OUT_DIR:-$ROOT}"
 # (bench/BenchRusage.h) next to wall time.
 FASTPATH_SUITES=(bench_fastpath)
 CONTENTION_SUITES=(bench_inflation_storm bench_wakeup)
+# bench_adaptive is the profiler->policy A/B (DESIGN.md §13); opt-in
+# because its convoy scenario deliberately oversubscribes the host.
+ADAPTIVE_SUITES=()
+if [ "${BENCH_ADAPTIVE:-0}" != 0 ]; then
+  ADAPTIVE_SUITES=(bench_adaptive)
+fi
 
-for Suite in "${FASTPATH_SUITES[@]}" "${CONTENTION_SUITES[@]}"; do
+for Suite in "${FASTPATH_SUITES[@]}" "${CONTENTION_SUITES[@]}" \
+             "${ADAPTIVE_SUITES[@]}"; do
   if [ ! -x "$BUILD_DIR/bench/$Suite" ]; then
     echo "error: $BUILD_DIR/bench/$Suite not found." >&2
     echo "Build it first:  cmake --preset bench && cmake --build --preset bench -j" >&2
@@ -81,6 +95,9 @@ done
 for Suite in "${CONTENTION_SUITES[@]}"; do
   run_suite "$Suite"
 done
+for Suite in "${ADAPTIVE_SUITES[@]}"; do
+  run_suite "$Suite"
+done
 
 # Merge the per-suite JSON files: one shared context (identical flags for
 # every suite in a run) plus the concatenated benchmark records, each
@@ -100,6 +117,18 @@ for path in inputs:
     with open(path) as f:
         doc = json.load(f)
     suite = path.rsplit("/", 1)[-1].removesuffix(".json")
+    # Refuse to publish a trajectory built without NDEBUG.  The gate is
+    # our own context field (bench/BenchContext.h): the library's
+    # `library_build_type` is compiled into libbenchmark itself, so a
+    # distro-packaged .so reports the *library's* build type no matter
+    # how the suites were compiled — it cannot vouch for the measured
+    # code.  Asserting here (inside the staged merge) keeps the committed
+    # BENCH_*.json bit-for-bit untouched on refusal.
+    build_type = doc.get("context", {}).get("thinlocks_build_type")
+    assert build_type == "release", (
+        f"{suite}: thinlocks_build_type is {build_type!r}, not 'release' "
+        "— rebuild with the bench preset (cmake --preset bench) before "
+        "publishing a trajectory")
     if merged["context"] is None:
         ctx = doc.get("context", {})
         ctx.pop("executable", None)  # per-suite; the suite tag replaces it
@@ -126,6 +155,10 @@ CONTENTION_INPUTS=(); for S in "${CONTENTION_SUITES[@]}"; do CONTENTION_INPUTS+=
 
 merge BENCH_fastpath.json "${FASTPATH_INPUTS[@]}"
 merge BENCH_contention.json "${CONTENTION_INPUTS[@]}"
+if [ "${#ADAPTIVE_SUITES[@]}" -gt 0 ]; then
+  ADAPTIVE_INPUTS=(); for S in "${ADAPTIVE_SUITES[@]}"; do ADAPTIVE_INPUTS+=("$TMP/$S.json"); done
+  merge BENCH_adaptive.json "${ADAPTIVE_INPUTS[@]}"
+fi
 
 # Optional tracing artifact: a Chrome trace of one traced macro replay
 # plus the hot-lock table on stderr.  Staged with the same all-or-nothing

@@ -49,6 +49,7 @@
 #include "heap/Object.h"
 #include "obs/EventRing.h"
 #include "park/ParkingLot.h"
+#include "policy/PolicyStore.h"
 #include "support/Compiler.h"
 #include "support/FailPoint.h"
 #include "support/Fatal.h"
@@ -140,6 +141,14 @@ public:
 
   static const char *protocolName() { return Policy::Name; }
 
+  /// Wires the adaptive policy engine's decision store into the SLOW
+  /// paths (lockSlow / tryLockFor spin-class selection, eager inflation,
+  /// the KeepFat deflation veto).  The fast paths never consult it —
+  /// the invariant tools/lint/fastpath_guard.py proves.  Null (the
+  /// default) restores purely static behavior.  \p Store must outlive
+  /// this manager's last use.
+  void setPolicyStore(const policy::PolicyStore *Store) { Policies = Store; }
+
   /// Acquires \p Obj's monitor for \p Thread (recursively if already
   /// held).  The paper's 17-instruction fast path is the inline portion.
   TL_ALWAYS_INLINE void lock(Object *Obj, const ThreadContext &Thread) {
@@ -215,7 +224,11 @@ public:
     uint32_t Shifted = Thread.shiftedIndex();
     if (lockword::isFat(Value)) {
       FatLock *Fat = Monitors.resolve(Value);
-      if (Deflation == DeflationPolicy::Never) {
+      // KeepFat is the policy engine's veto on quiescent deflation: the
+      // profiler saw this object thrash thin<->fat, so retiring its
+      // monitor would only buy the next contention burst an inflation.
+      if (Deflation == DeflationPolicy::Never ||
+          TL_UNLIKELY(policyFor(Obj).KeepFat)) {
         bool Ok = Fat->unlockChecked(Thread);
         if (Ok && Stats)
           Stats->recordRelease();
@@ -240,6 +253,7 @@ public:
         // Publish-and-wake: threads that saw the stale fat word are
         // lot-parked on the object waiting for this store.
         ParkingLot::global().unparkAll(Obj);
+        Monitors.noteRetirement();
         if (obs::tracingEnabled())
           recordEvent(Obj, Thread, obs::EventKind::Deflate);
         if (Stats) {
@@ -338,14 +352,17 @@ public:
                              DeadlockReport *Report = nullptr) {
     assert(Thread.isValid() && "locking with an unattached thread");
     // Uncontended / recursive cases never need the deadline machinery.
-    if (tryLock(Obj, Thread))
+    if (tryLock(Obj, Thread)) {
+      maybeEagerInflate(Obj, Thread);
       return TimedLockStatus::Acquired;
+    }
 
     const auto Deadline = std::chrono::steady_clock::now() +
                           std::chrono::nanoseconds(TimeoutNanos);
     std::atomic<uint32_t> &Word = Obj->lockWord();
     uint32_t Shifted = Thread.shiftedIndex();
-    SpinWait Spinner(Options.Spin);
+    const policy::LockPolicy Pol = policyFor(Obj);
+    SpinWait Spinner(policy::spinPolicyFor(Pol.Spin, Options.Spin));
     BlockedOnScope Blocked(Thread, Obj);
     bool SawContention = false;
     const bool Tracing = obs::tracingEnabled();
@@ -408,8 +425,10 @@ public:
                                        std::memory_order_relaxed)) {
           Policy::afterAcquireFence();
           // §2.3.4 locality of contention, as in lockSlow(): only
-          // inflate when the bounded wait actually met a contender.
-          if (SawContention) {
+          // inflate when the bounded wait actually met a contender — or
+          // when the policy engine already knows this object re-inflates
+          // (EagerInflate skips the remainder of the thin dance).
+          if (SawContention || Pol.EagerInflate) {
             inflateOwned(Obj, Thread, Old | Shifted, 1,
                          obs::InflateCause::Contention);
             if (TL_UNLIKELY(Tracing))
@@ -703,7 +722,10 @@ private:
   TL_NOINLINE void lockSlow(Object *Obj, const ThreadContext &Thread) {
     std::atomic<uint32_t> &Word = Obj->lockWord();
     uint32_t Shifted = Thread.shiftedIndex();
-    SpinWait Spinner(Options.Spin);
+    // Adaptive spin class: contenders on an object the policy engine has
+    // classified escalate on its ladder instead of the static one.
+    const policy::LockPolicy Pol = policyFor(Obj);
+    SpinWait Spinner(policy::spinPolicyFor(Pol.Spin, Options.Spin));
     BlockedOnScope Blocked(Thread, Obj);
     uint64_t ParksAtLastCheck = 0;
     const bool Tracing = obs::tracingEnabled();
@@ -857,6 +879,31 @@ private:
     return Fat;
   }
 
+  /// The adaptive decision for \p Obj, or all-defaults when no store is
+  /// wired (the common case — one predictable branch).  Slow paths only.
+  policy::LockPolicy policyFor(const Object *Obj) const {
+    if (TL_LIKELY(Policies == nullptr))
+      return policy::LockPolicy();
+    return Policies->forObject(reinterpret_cast<uint64_t>(Obj),
+                               Obj->classIndex());
+  }
+
+  /// EagerInflate's deterministic trigger: after a successful slow-path
+  /// acquisition that left the word thin, a decided object goes fat
+  /// immediately — the engine has seen it re-inflate enough times that
+  /// the thin contention dance is pure overhead.
+  void maybeEagerInflate(Object *Obj, const ThreadContext &Thread) {
+    if (TL_LIKELY(Policies == nullptr))
+      return;
+    uint32_t Value = Obj->lockWord().load(std::memory_order_relaxed);
+    if (!lockword::isThinOwnedBy(Value, Thread.shiftedIndex()))
+      return; // Already fat (or emergency-shared): nothing to do.
+    if (!policyFor(Obj).EagerInflate)
+      return;
+    inflateOwned(Obj, Thread, Value, lockword::countOf(Value) + 1,
+                 obs::InflateCause::Hint);
+  }
+
   NotifyStatus notifyImpl(Object *Obj, const ThreadContext &Thread,
                           bool All) {
     uint32_t Value = Obj->lockWord().load(std::memory_order_relaxed);
@@ -886,6 +933,9 @@ private:
   LockStats *Stats;
   DeflationPolicy Deflation;
   ContentionOptions Options;
+  /// Adaptive decisions consulted by the slow paths; null = static
+  /// behavior.  See setPolicyStore().
+  const policy::PolicyStore *Policies = nullptr;
 };
 
 /// The shipping configuration (paper §3.5.1): per-operation dynamic

@@ -126,6 +126,19 @@ public:
     return ExhaustionEvents.load(std::memory_order_relaxed);
   }
 
+  /// Records one monitor retirement (owner-path quiescent deflation or
+  /// the adaptive engine's speculative scan).  Indices are never reused,
+  /// so this is a ledger, not a free-list: occupancy() stays monotone
+  /// and this counter says how much of it is retired husks.
+  void noteRetirement() {
+    RetirementEvents.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// \returns how many monitors have been retired by deflation.
+  uint64_t retirementEvents() const {
+    return RetirementEvents.load(std::memory_order_relaxed);
+  }
+
 private:
   using Segment = std::array<std::atomic<FatLock *>, SegmentSize>;
 
@@ -165,6 +178,7 @@ private:
   uint32_t NextIndex TL_GUARDED_BY(Mu) = 1;
   std::atomic<uint32_t> LiveCount{0};
   std::atomic<uint64_t> ExhaustionEvents{0};
+  std::atomic<uint64_t> RetirementEvents{0};
 };
 
 } // namespace thinlocks

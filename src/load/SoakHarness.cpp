@@ -92,6 +92,11 @@ public:
       Chaos = buildChaosSchedule(Config.ChaosSeed);
     ChaosArmed.assign(Chaos.size(), false);
     ChaosDone.assign(Chaos.size(), false);
+    if (Config.AdaptivePolicy) {
+      Engine = std::make_unique<policy::AdaptivePolicyEngine>(
+          Collector, Monitors, Config.Policy);
+      Locks.setPolicyStore(&Engine->policyStore());
+    }
   }
 
   SoakResult run();
@@ -117,6 +122,8 @@ private:
   SessionWorkload Workload;
   obs::LockEventCollector Collector;
   AdmissionController Controller;
+  /// Present only when Config.AdaptivePolicy; ticked by the ticker.
+  std::unique_ptr<policy::AdaptivePolicyEngine> Engine;
 
   uint64_t T0 = 0;
   uint64_t DurationNanos = 0;
@@ -279,6 +286,14 @@ void SoakRun::updateChaos(double Frac) {
 }
 
 void SoakRun::tickerLoop() {
+  // The adaptive engine records its decisions into the ticker's event
+  // ring so they land in the same timeline as the contention they
+  // answer; attach only when the engine exists, so non-adaptive runs
+  // keep their registry occupancy (some chaos configs size it tightly).
+  std::unique_ptr<ScopedThreadAttachment> Attach;
+  if (Engine)
+    Attach = std::make_unique<ScopedThreadAttachment>(Registry,
+                                                      "soak-ticker");
   for (;;) {
     {
       UniqueLock Guard(TickMu);
@@ -320,7 +335,14 @@ void SoakRun::tickerLoop() {
     }
     // Sampling drain: rings keep only their newest events once they
     // wrap, so the profile must be collected while the load runs.
-    Collector.drain();
+    // (Engine->tick drains internally; keep the drain unconditional so
+    // non-adaptive runs still sample.)
+    if (Engine)
+      Engine->tick(Attach && Attach->context().isValid()
+                       ? &Attach->context()
+                       : nullptr);
+    else
+      Collector.drain();
   }
 }
 
@@ -453,6 +475,9 @@ SoakResult SoakRun::finish(uint64_t RunNanos) {
   Result.AttachFallbacks = AttachFallbacks;
   Result.EventsDropped = Collector.droppedEvents();
   Result.ChaosPhasesRun = ChaosPhasesRun;
+  if (Engine)
+    Result.Policy = Engine->counters();
+  Result.MonitorRetirements = Monitors.retirementEvents();
 
   // Worst tail: slowest arrival-to-completion sessions, exported as
   // trace spans over the lock events inside their windows.

@@ -38,6 +38,7 @@
 #include "load/AdmissionController.h"
 #include "load/SessionWorkload.h"
 #include "obs/SloSnapshot.h"
+#include "policy/AdaptivePolicyEngine.h"
 
 #include <cstdint>
 #include <string>
@@ -86,6 +87,14 @@ struct SoakConfig {
   uint64_t ChaosSeed = 7;
   /// Worst-tail fraction exported as Chrome "session" spans.
   double WorstFraction = 0.01;
+  /// Close the profiler->policy loop: run an AdaptivePolicyEngine off
+  /// the controller's tick cadence and wire its decision store into the
+  /// lock slow paths.
+  bool AdaptivePolicy = false;
+  /// Engine tuning when AdaptivePolicy is on.  The harness owns its
+  /// heap and every session object outlives the run, so enabling
+  /// Policy.SpeculativeDeflation here is safe.
+  policy::PolicyConfig Policy;
 };
 
 /// Everything a run produced.
@@ -110,6 +119,11 @@ struct SoakResult {
   uint64_t EventsDropped = 0;
   /// Chaos phases actually armed (0 when Chaos off or not compiled in).
   uint64_t ChaosPhasesRun = 0;
+  /// Adaptive engine ledger (all zeros when AdaptivePolicy is off).
+  policy::PolicyCounters Policy;
+  /// Monitors retired by deflation over the run (owner-path quiescent
+  /// retirement plus the engine's speculative scan).
+  uint64_t MonitorRetirements = 0;
 };
 
 /// \returns the deterministic chaos schedule for \p Seed (exposed for

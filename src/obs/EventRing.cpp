@@ -35,6 +35,8 @@ const char *thinlocks::obs::eventKindName(EventKind Kind) {
     return "notify-all";
   case EventKind::Deadlock:
     return "deadlock";
+  case EventKind::PolicyDecision:
+    return "policy-decision";
   }
   return "unknown";
 }

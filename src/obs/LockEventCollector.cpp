@@ -44,7 +44,21 @@ void LockEventCollector::fold(const LockEvent &E) {
   else
     ++RetentionDrops;
 
+  // Policy decisions annotate the timeline but carry no per-object cost,
+  // and class-level ones use ObjectAddr 0 — folding them would mint a
+  // phantom profile row at address zero for the engine to chase.
+  if (E.Kind == EventKind::PolicyDecision || E.ObjectAddr == 0)
+    return;
+
   HotLockEntry &Entry = Profile[E.ObjectAddr];
+  HotClassEntry &Rollup = ClassProfile[E.ClassIndex];
+  Rollup.ClassIndex = E.ClassIndex;
+  // Count distinct objects per class: a fresh profile entry is one, and
+  // so is an existing address re-recorded under a new class (the
+  // allocator recycled it — the new incarnation is a new object, and
+  // the old class keeps the history the old incarnation caused).
+  if (Entry.ObjectAddr == 0 || Entry.ClassIndex != E.ClassIndex)
+    ++Rollup.Objects;
   Entry.ObjectAddr = E.ObjectAddr;
   Entry.ClassIndex = E.ClassIndex;
   switch (E.Kind) {
@@ -52,26 +66,36 @@ void LockEventCollector::fold(const LockEvent &E) {
     ++Entry.ContendedAcquires;
     Entry.BlockedNanos += E.Arg;
     Entry.MaxQueueDepth = std::max<uint64_t>(Entry.MaxQueueDepth, E.Extra);
+    ++Rollup.ContendedAcquires;
+    Rollup.BlockedNanos += E.Arg;
+    Rollup.MaxQueueDepth = std::max<uint64_t>(Rollup.MaxQueueDepth, E.Extra);
     break;
   case EventKind::Inflate:
     ++Entry.Inflations;
+    ++Rollup.Inflations;
     break;
   case EventKind::Deflate:
     ++Entry.Deflations;
+    ++Rollup.Deflations;
     break;
   case EventKind::Park:
     ++Entry.Parks;
     Entry.BlockedNanos += E.Arg;
+    ++Rollup.Parks;
+    Rollup.BlockedNanos += E.Arg;
     break;
   case EventKind::Wait:
     ++Entry.Waits;
+    ++Rollup.Waits;
     break;
   case EventKind::Notify:
   case EventKind::NotifyAll:
     ++Entry.Notifies;
+    ++Rollup.Notifies;
     break;
   case EventKind::Wake:
   case EventKind::Deadlock:
+  case EventKind::PolicyDecision:
   case EventKind::None:
     break;
   }
@@ -113,6 +137,27 @@ std::vector<HotLockEntry> LockEventCollector::topLocks(size_t N) const {
   return All;
 }
 
+std::vector<HotClassEntry> LockEventCollector::topClasses(size_t N) const {
+  LockGuard G(Mu);
+  std::vector<HotClassEntry> All;
+  All.reserve(ClassProfile.size());
+  for (const auto &KV : ClassProfile)
+    All.push_back(KV.second);
+  std::sort(All.begin(), All.end(),
+            [](const HotClassEntry &A, const HotClassEntry &B) {
+              if (A.BlockedNanos != B.BlockedNanos)
+                return A.BlockedNanos > B.BlockedNanos;
+              if (A.ContendedAcquires != B.ContendedAcquires)
+                return A.ContendedAcquires > B.ContendedAcquires;
+              if (A.Inflations != B.Inflations)
+                return A.Inflations > B.Inflations;
+              return A.ClassIndex < B.ClassIndex;
+            });
+  if (All.size() > N)
+    All.resize(N);
+  return All;
+}
+
 std::string
 LockEventCollector::formatTopLocks(size_t N,
                                    const ClassRegistry *Classes) const {
@@ -143,6 +188,7 @@ void LockEventCollector::reset() {
   LockGuard G(Mu);
   Retained.clear();
   Profile.clear();
+  ClassProfile.clear();
   FoldedEvents = 0;
   RetentionDrops = 0;
 }

@@ -53,6 +53,27 @@ struct HotLockEntry {
   uint64_t MaxQueueDepth = 0;
 };
 
+/// Per-class rollup of the hot-lock profile: what every instance of one
+/// class cost, plus how many distinct profiled objects contributed.
+/// Events are attributed by the class index they were recorded with, so
+/// when an address is recycled into a new class the old class keeps the
+/// history it actually caused and the new class starts clean (the
+/// distinct-object count bumps again for the new incarnation).
+struct HotClassEntry {
+  uint32_t ClassIndex = 0;
+  /// Distinct profiled objects seen for this class (recycled addresses
+  /// count once per incarnation).
+  uint64_t Objects = 0;
+  uint64_t ContendedAcquires = 0;
+  uint64_t Inflations = 0;
+  uint64_t Deflations = 0;
+  uint64_t Parks = 0;
+  uint64_t Waits = 0;
+  uint64_t Notifies = 0;
+  uint64_t BlockedNanos = 0;
+  uint64_t MaxQueueDepth = 0;
+};
+
 class LockEventCollector {
 public:
   /// \param Registry whose threads' rings to drain.
@@ -83,6 +104,11 @@ public:
   /// broken by contended-acquire count, then by inflations).
   std::vector<HotLockEntry> topLocks(size_t N) const TL_EXCLUDES(Mu);
 
+  /// \returns the top \p N classes by cumulative blocked time (ties
+  /// broken by contended-acquire count, then inflations, then by class
+  /// index ascending).  Fed by the same folds as topLocks().
+  std::vector<HotClassEntry> topClasses(size_t N) const TL_EXCLUDES(Mu);
+
   /// Renders topLocks(N) as an aligned text table.  When \p Classes is
   /// non-null, class indices resolve to names.
   std::string formatTopLocks(size_t N,
@@ -101,6 +127,7 @@ private:
   mutable Mutex Mu;
   std::vector<LockEvent> Retained TL_GUARDED_BY(Mu);
   std::unordered_map<uint64_t, HotLockEntry> Profile TL_GUARDED_BY(Mu);
+  std::unordered_map<uint32_t, HotClassEntry> ClassProfile TL_GUARDED_BY(Mu);
   uint64_t FoldedEvents TL_GUARDED_BY(Mu) = 0;
   uint64_t RetentionDrops TL_GUARDED_BY(Mu) = 0;
   uint64_t RingDrops TL_GUARDED_BY(Mu) = 0;

@@ -1,0 +1,95 @@
+//===- policy/DecisionTable.cpp - Padded-shard decision lookup ------------===//
+
+#include "policy/DecisionTable.h"
+
+#include <cassert>
+
+using namespace thinlocks;
+using namespace thinlocks::policy;
+
+DecisionTable::DecisionTable(size_t SlotsPerShard) {
+  size_t Slots = ProbeLimit;
+  while (Slots < SlotsPerShard)
+    Slots <<= 1;
+  SlotMask = Slots - 1;
+  for (Shard &S : Shards) {
+    S.Keys = std::make_unique<std::atomic<uint64_t>[]>(Slots);
+    S.Values = std::make_unique<std::atomic<uint32_t>[]>(Slots);
+    for (size_t I = 0; I < Slots; ++I) {
+      S.Keys[I].store(0, std::memory_order_relaxed);
+      S.Values[I].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint32_t DecisionTable::lookup(uint64_t Key) const {
+  assert(Key != 0 && "key 0 is the empty-slot sentinel");
+  uint64_t Hash = mix(Key);
+  const Shard &S = shardFor(Hash);
+  size_t Slot = (Hash >> 4) & SlotMask;
+  for (size_t I = 0; I < ProbeLimit; ++I) {
+    // Acquire pairs with publish()'s release key store: a reader that
+    // sees the key also sees the value stored before it.
+    uint64_t K = S.Keys[(Slot + I) & SlotMask].load(std::memory_order_acquire);
+    if (K == Key)
+      return S.Values[(Slot + I) & SlotMask].load(std::memory_order_acquire);
+    if (K == 0)
+      return 0; // Never-used slot terminates the probe chain.
+    // Tombstones and other keys: keep probing.
+  }
+  return 0;
+}
+
+bool DecisionTable::publish(uint64_t Key, uint32_t Packed) {
+  assert(Key != 0 && Key != Tombstone && "reserved key");
+  assert(Packed != 0 && "default policies are expressed by erase()");
+  uint64_t Hash = mix(Key);
+  Shard &S = shardFor(Hash);
+  size_t Slot = (Hash >> 4) & SlotMask;
+  size_t Insert = SIZE_MAX;
+  for (size_t I = 0; I < ProbeLimit; ++I) {
+    size_t At = (Slot + I) & SlotMask;
+    uint64_t K = S.Keys[At].load(std::memory_order_relaxed);
+    if (K == Key) {
+      // Update in place; release so a reader holding the key sees a
+      // fully written value.
+      S.Values[At].store(Packed, std::memory_order_release);
+      return true;
+    }
+    if ((K == 0 || K == Tombstone) && Insert == SIZE_MAX)
+      Insert = At;
+    if (K == 0)
+      break; // End of this key's probe chain: it is not in the table.
+  }
+  if (Insert == SIZE_MAX)
+    return false; // Probe window full of other live keys.
+  // Insert: value first (relaxed), then the key with release, so any
+  // reader that observes the key observes the value.
+  S.Values[Insert].store(Packed, std::memory_order_relaxed);
+  S.Keys[Insert].store(Key, std::memory_order_release);
+  Live.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool DecisionTable::erase(uint64_t Key) {
+  assert(Key != 0 && Key != Tombstone && "reserved key");
+  uint64_t Hash = mix(Key);
+  Shard &S = shardFor(Hash);
+  size_t Slot = (Hash >> 4) & SlotMask;
+  for (size_t I = 0; I < ProbeLimit; ++I) {
+    size_t At = (Slot + I) & SlotMask;
+    uint64_t K = S.Keys[At].load(std::memory_order_relaxed);
+    if (K == Key) {
+      // Clear the value before tombstoning so a racing reader that
+      // still wins the key load gets the default policy, not a stale
+      // decision for a key the writer has moved past.
+      S.Values[At].store(0, std::memory_order_relaxed);
+      S.Keys[At].store(Tombstone, std::memory_order_release);
+      Live.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (K == 0)
+      return false;
+  }
+  return false;
+}

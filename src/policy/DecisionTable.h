@@ -1,0 +1,111 @@
+//===- policy/DecisionTable.h - Padded-shard decision lookup ---*- C++ -*-===//
+///
+/// \file
+/// The lookup structure between the AdaptivePolicyEngine (one writer,
+/// ticking on a sampling cadence) and the lock slow paths (many readers,
+/// every contended acquire/release).  Requirements that shaped it:
+///
+///  - readers are lock-free and touch at most ProbeLimit cache lines:
+///    a slow path must never block on the policy engine, and a missing
+///    decision must be cheap (the common case for cold objects);
+///  - shards are alignas(64)-padded so concurrent readers of *different*
+///    hot objects do not false-share;
+///  - one logical writer (the engine's tick serializes itself), so no
+///    writer-writer synchronization exists — enforced by contract and
+///    checked by the TSan stress test, not by a mutex.
+///
+/// Consistency model: decisions are HINTS.  A reader may observe a
+/// just-erased key for one probe, or — when a tombstoned slot is reused
+/// for a different key between a reader's key and value loads — a value
+/// briefly attributed to the wrong key.  Both races hand a reader a
+/// stale or default policy, which changes spin depth or an inflation
+/// decision, never correctness of the lock protocol itself.  This is the
+/// same benign-ABA argument MonitorTable makes for stale fat words, and
+/// it is what lets the read side stay wait-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_POLICY_DECISIONTABLE_H
+#define THINLOCKS_POLICY_DECISIONTABLE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace thinlocks {
+namespace policy {
+
+/// Open-addressed, sharded {u64 key -> u32 packed LockPolicy} map with
+/// wait-free readers and a single external writer.
+class DecisionTable {
+public:
+  /// Shard count (power of two).  16 matches MonitorTable's allocation
+  /// sharding: enough to spread the handful of simultaneously-hot
+  /// objects across lines without bloating the table.
+  static constexpr size_t NumShards = 16;
+  /// Bounded linear probe: a lookup or publish inspects at most this
+  /// many slots before giving up.  Misses stay O(1) under adversarial
+  /// hashing; publish failures are counted by the engine, not hidden.
+  static constexpr size_t ProbeLimit = 16;
+
+  /// \param SlotsPerShard capacity of each shard (rounded up to a power
+  /// of two, minimum ProbeLimit).  The default comfortably holds the
+  /// engine's TopObjects working set at <50% load factor.
+  explicit DecisionTable(size_t SlotsPerShard = 64);
+
+  DecisionTable(const DecisionTable &) = delete;
+  DecisionTable &operator=(const DecisionTable &) = delete;
+
+  /// Wait-free reader: \returns the packed policy for \p Key, or 0 when
+  /// no decision is published.  \p Key must be nonzero.
+  uint32_t lookup(uint64_t Key) const;
+
+  /// Writer (engine only): publishes \p Packed for \p Key, inserting or
+  /// updating.  \p Packed must be nonzero (a default policy is expressed
+  /// by erase()).  \returns false when the probe window is full of other
+  /// live keys — the caller counts the failure and retries next tick.
+  bool publish(uint64_t Key, uint32_t Packed);
+
+  /// Writer (engine only): removes \p Key's decision if present.
+  /// \returns true when a decision was removed.
+  bool erase(uint64_t Key);
+
+  /// \returns the number of live decisions (racy snapshot).
+  size_t size() const { return Live.load(std::memory_order_relaxed); }
+
+private:
+  /// Slot keys: 0 = never used (terminates reader probes), Tombstone =
+  /// erased (readers skip, writer may reuse).
+  static constexpr uint64_t Tombstone = ~0ull;
+
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> Keys;
+    std::unique_ptr<std::atomic<uint32_t>[]> Values;
+  };
+
+  /// Finalizer-style mix so near-identical keys (object addresses share
+  /// high bits; class keys are tiny integers) spread over shards/slots.
+  static uint64_t mix(uint64_t Key) {
+    Key ^= Key >> 33;
+    Key *= 0xff51afd7ed558ccdull;
+    Key ^= Key >> 33;
+    Key *= 0xc4ceb9fe1a85ec53ull;
+    Key ^= Key >> 33;
+    return Key;
+  }
+
+  Shard &shardFor(uint64_t Hash) { return Shards[Hash & (NumShards - 1)]; }
+  const Shard &shardFor(uint64_t Hash) const {
+    return Shards[Hash & (NumShards - 1)];
+  }
+
+  Shard Shards[NumShards];
+  size_t SlotMask; ///< SlotsPerShard - 1 (power of two).
+  std::atomic<size_t> Live{0};
+};
+
+} // namespace policy
+} // namespace thinlocks
+
+#endif // THINLOCKS_POLICY_DECISIONTABLE_H

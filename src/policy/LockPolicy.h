@@ -1,0 +1,107 @@
+//===- policy/LockPolicy.h - Per-object lock-lifecycle decision *- C++ -*-===//
+///
+/// \file
+/// The decision vocabulary of the adaptive policy engine (DESIGN.md §13):
+/// one small, packable record saying how the *slow paths* should treat a
+/// particular object (or every instance of a class).  Three independent
+/// levers, each grounded in a pathology the hot-lock profiler can see:
+///
+///   SpinClass  — which SpinWait ladder a contender escalates on.  Deep
+///     for objects whose owners release quickly (mean blocked time per
+///     contended acquire is small: spinning a little longer wins the
+///     word without a park round trip); ParkEarly for convoy-prone
+///     objects (large mean blocked time: pausing burns CPU the
+///     descheduled owner needs — get to the park rung fast).
+///
+///   EagerInflate — the object re-inflates repeatedly, so the thin
+///     contention dance (spin for the word, win the CAS, then inflate
+///     anyway) is pure overhead; go fat at the first slow-path touch.
+///
+///   KeepFat — veto quiescent deflation.  The inflate/deflate thrash
+///     the paper's permanence discipline avoids (§2.3) is re-created by
+///     DeflationPolicy::WhenQuiescent on repeatedly-contended objects;
+///     KeepFat restores permanence *selectively*, exactly where the
+///     profiler has seen the thrash.
+///
+/// A default-constructed LockPolicy means "no decision": every lever at
+/// its static default.  It packs to 0, which is also the DecisionTable's
+/// "absent" encoding — the engine never publishes a default policy, it
+/// erases the entry instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_POLICY_LOCKPOLICY_H
+#define THINLOCKS_POLICY_LOCKPOLICY_H
+
+#include "support/SpinWait.h"
+
+#include <cstdint>
+
+namespace thinlocks {
+namespace policy {
+
+/// Which contention escalation ladder a slow path should use.
+enum class SpinClass : uint8_t {
+  Default = 0,  ///< DefaultSpinPolicy (the tuned static ladder).
+  Deep = 1,     ///< DeepSpinPolicy: fast-release owners; spin longer.
+  ParkEarly = 2 ///< ParkEarlySpinPolicy: convoy-prone; park sooner.
+};
+
+/// One published decision.  Cheap to copy; slow paths receive it by
+/// value from a PolicyStore lookup.
+struct LockPolicy {
+  SpinClass Spin = SpinClass::Default;
+  bool EagerInflate = false;
+  bool KeepFat = false;
+
+  /// \returns true when every lever is at its static default (the
+  /// "no decision" state; packs to 0).
+  bool isDefault() const {
+    return Spin == SpinClass::Default && !EagerInflate && !KeepFat;
+  }
+
+  /// Packs into a DecisionTable value word: bits [1:0] SpinClass,
+  /// bit 2 EagerInflate, bit 3 KeepFat.  A default policy packs to 0,
+  /// the table's "absent" encoding.
+  uint32_t pack() const {
+    return static_cast<uint32_t>(Spin) | (EagerInflate ? 4u : 0u) |
+           (KeepFat ? 8u : 0u);
+  }
+
+  static LockPolicy unpack(uint32_t Packed) {
+    LockPolicy P;
+    P.Spin = static_cast<SpinClass>(Packed & 3u);
+    P.EagerInflate = (Packed & 4u) != 0;
+    P.KeepFat = (Packed & 8u) != 0;
+    return P;
+  }
+
+  friend bool operator==(const LockPolicy &A, const LockPolicy &B) {
+    return A.pack() == B.pack();
+  }
+  friend bool operator!=(const LockPolicy &A, const LockPolicy &B) {
+    return !(A == B);
+  }
+};
+
+/// Maps a SpinClass to the ladder the slow path should construct its
+/// SpinWait from.  \p Fallback is the statically configured ladder
+/// (ContentionOptions::Spin) used for SpinClass::Default, so a manager
+/// with custom static tuning keeps it for undecided objects.
+inline const SpinPolicy &spinPolicyFor(SpinClass Class,
+                                       const SpinPolicy &Fallback) {
+  switch (Class) {
+  case SpinClass::Deep:
+    return DeepSpinPolicy;
+  case SpinClass::ParkEarly:
+    return ParkEarlySpinPolicy;
+  case SpinClass::Default:
+    break;
+  }
+  return Fallback;
+}
+
+} // namespace policy
+} // namespace thinlocks
+
+#endif // THINLOCKS_POLICY_LOCKPOLICY_H

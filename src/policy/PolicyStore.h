@@ -1,0 +1,74 @@
+//===- policy/PolicyStore.h - Object + class decision store ----*- C++ -*-===//
+///
+/// \file
+/// The read-side façade the lock slow paths consult: two DecisionTables
+/// — one keyed by object address, one by class index — with the
+/// object-specific decision taking precedence.  Per-class decisions let
+/// the engine cover a popular class's long tail (every instance behaves
+/// like the profiled ones) without publishing thousands of per-object
+/// entries; a per-object decision overrides its class when one object's
+/// behavior diverges.
+///
+/// Lookups are wait-free (see DecisionTable) and happen ONLY on slow
+/// paths: the thin fast path never touches this structure — an invariant
+/// tools/lint/fastpath_guard.py proves at the instruction level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINLOCKS_POLICY_POLICYSTORE_H
+#define THINLOCKS_POLICY_POLICYSTORE_H
+
+#include "policy/DecisionTable.h"
+#include "policy/LockPolicy.h"
+
+namespace thinlocks {
+namespace policy {
+
+class PolicyStore {
+public:
+  PolicyStore() = default;
+  PolicyStore(const PolicyStore &) = delete;
+  PolicyStore &operator=(const PolicyStore &) = delete;
+
+  /// Reader (slow paths): the effective policy for an object, object
+  /// decision first, class decision as fallback.  \p ObjectAddr is the
+  /// object's address; \p ClassIndex its class-registry index.
+  LockPolicy forObject(uint64_t ObjectAddr, uint32_t ClassIndex) const {
+    if (uint32_t Packed = Objects.lookup(ObjectAddr))
+      return LockPolicy::unpack(Packed);
+    if (uint32_t Packed = Classes.lookup(classKey(ClassIndex)))
+      return LockPolicy::unpack(Packed);
+    return LockPolicy();
+  }
+
+  /// Writer (engine only).  \returns false on a full probe window.
+  bool publishObject(uint64_t ObjectAddr, LockPolicy Policy) {
+    return Objects.publish(ObjectAddr, Policy.pack());
+  }
+  bool eraseObject(uint64_t ObjectAddr) { return Objects.erase(ObjectAddr); }
+  bool publishClass(uint32_t ClassIndex, LockPolicy Policy) {
+    return Classes.publish(classKey(ClassIndex), Policy.pack());
+  }
+  bool eraseClass(uint32_t ClassIndex) {
+    return Classes.erase(classKey(ClassIndex));
+  }
+
+  /// Live decision counts (racy snapshots, for counters/tests).
+  size_t objectDecisions() const { return Objects.size(); }
+  size_t classDecisions() const { return Classes.size(); }
+
+private:
+  /// Class index 0 is a valid registry index but 0 is the table's
+  /// empty sentinel; bias by one.
+  static uint64_t classKey(uint32_t ClassIndex) {
+    return static_cast<uint64_t>(ClassIndex) + 1;
+  }
+
+  DecisionTable Objects;
+  DecisionTable Classes{16};
+};
+
+} // namespace policy
+} // namespace thinlocks
+
+#endif // THINLOCKS_POLICY_POLICYSTORE_H

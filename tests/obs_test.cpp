@@ -279,6 +279,79 @@ TEST(ObsCollectorTest, RetentionCapFeedsAggregateButDropsTimeline) {
   EXPECT_EQ(Top[0].ContendedAcquires, 10u);
 }
 
+TEST(ObsCollectorTest, TopClassesRollsUpAndBreaksTies) {
+  ThreadRegistry Registry;
+  obs::LockEventCollector Collector(Registry);
+  ThreadContext Main = Registry.attach("main");
+  obs::EventRing *Ring = Main.eventRing();
+
+  // Class 7: two objects, 300ns blocked total, 2 contended acquires.
+  Ring->record(contendedEvent(0x1000, Main.index(), 1, 100, 2, /*Class=*/7));
+  Ring->record(contendedEvent(0x1100, Main.index(), 2, 200, 5, /*Class=*/7));
+  // Class 3: one object, same 300ns blocked but 3 contended acquires —
+  // the tie on blocked time must break toward more contention.
+  Ring->record(contendedEvent(0x2000, Main.index(), 3, 100, 1, /*Class=*/3));
+  Ring->record(contendedEvent(0x2000, Main.index(), 4, 100, 1, /*Class=*/3));
+  Ring->record(contendedEvent(0x2000, Main.index(), 5, 100, 1, /*Class=*/3));
+  // Classes 9 and 4: identical in every ranked dimension — the final
+  // tie-break is ascending class index, so the order is deterministic.
+  Ring->record(contendedEvent(0x3000, Main.index(), 6, 50, 1, /*Class=*/9));
+  Ring->record(contendedEvent(0x4000, Main.index(), 7, 50, 1, /*Class=*/4));
+  Registry.detach(Main);
+
+  EXPECT_EQ(Collector.drain(), 7u);
+  std::vector<obs::HotClassEntry> Top = Collector.topClasses(10);
+  ASSERT_EQ(Top.size(), 4u);
+  EXPECT_EQ(Top[0].ClassIndex, 3u); // 300ns, 3 contended.
+  EXPECT_EQ(Top[0].Objects, 1u);
+  EXPECT_EQ(Top[0].ContendedAcquires, 3u);
+  EXPECT_EQ(Top[1].ClassIndex, 7u); // 300ns, 2 contended.
+  EXPECT_EQ(Top[1].Objects, 2u);
+  EXPECT_EQ(Top[1].BlockedNanos, 300u);
+  EXPECT_EQ(Top[1].MaxQueueDepth, 5u);
+  EXPECT_EQ(Top[2].ClassIndex, 4u); // Tied with 9: lower index first.
+  EXPECT_EQ(Top[3].ClassIndex, 9u);
+
+  // The cap truncates after ranking.
+  EXPECT_EQ(Collector.topClasses(1).size(), 1u);
+  EXPECT_EQ(Collector.topClasses(1)[0].ClassIndex, 3u);
+}
+
+TEST(ObsCollectorTest, TopClassesReattributesRecycledAddresses) {
+  ThreadRegistry Registry;
+  obs::LockEventCollector Collector(Registry);
+  ThreadContext Main = Registry.attach("main");
+  obs::EventRing *Ring = Main.eventRing();
+
+  // One address lives two lives: first as class 1, then (after the
+  // allocator recycles it) as class 2.  Each incarnation must count as
+  // an object of its own class, and class 1 must keep the history its
+  // incarnation caused rather than having it migrate to class 2.
+  Ring->record(contendedEvent(0x5000, Main.index(), 1, 100, 1, /*Class=*/1));
+  Registry.detach(Main);
+  EXPECT_EQ(Collector.drain(), 1u);
+
+  ThreadContext Again = Registry.attach("again");
+  Again.eventRing()->record(
+      contendedEvent(0x5000, Again.index(), 2, 40, 1, /*Class=*/2));
+  Registry.detach(Again);
+  EXPECT_EQ(Collector.drain(), 1u);
+
+  std::vector<obs::HotClassEntry> Top = Collector.topClasses(10);
+  ASSERT_EQ(Top.size(), 2u);
+  EXPECT_EQ(Top[0].ClassIndex, 1u);
+  EXPECT_EQ(Top[0].Objects, 1u);
+  EXPECT_EQ(Top[0].BlockedNanos, 100u);
+  EXPECT_EQ(Top[1].ClassIndex, 2u);
+  EXPECT_EQ(Top[1].Objects, 1u);
+  EXPECT_EQ(Top[1].BlockedNanos, 40u);
+
+  // The per-object row follows the newest incarnation.
+  std::vector<obs::HotLockEntry> Objects = Collector.topLocks(1);
+  ASSERT_EQ(Objects.size(), 1u);
+  EXPECT_EQ(Objects[0].ClassIndex, 2u);
+}
+
 //===----------------------------------------------------------------------===//
 // Chrome trace exporter + validator
 //===----------------------------------------------------------------------===//

@@ -32,6 +32,9 @@ pass() { echo "ok: $*" >&2; }
 # behavior is scripted via marker files in the sandbox:
 #   $SANDBOX/exitcode.<suite>   -> stub exits with this status
 #   $SANDBOX/garbage.<suite>    -> stub writes non-JSON output
+#   $SANDBOX/debugctx.<suite>   -> stub reports a debug-build context
+# A real suite always stamps thinlocks_build_type via BenchContext.h, so
+# the default stub context says "release" (the publishable case).
 make_build_tree() {
   local Build="$1"
   mkdir -p "$Build/bench"
@@ -43,11 +46,15 @@ Out=""
 for Arg in "\$@"; do
   case "\$Arg" in --benchmark_out=*) Out="\${Arg#--benchmark_out=}" ;; esac
 done
+BuildType=release
+if [ -f "$SANDBOX/debugctx.$Suite" ]; then
+  BuildType=debug
+fi
 if [ -f "$SANDBOX/garbage.$Suite" ]; then
   echo "this is not json {" > "\$Out"
 else
-  printf '{"context":{"executable":"%s"},"benchmarks":[{"name":"%s/op","real_time":1.0}]}\n' \
-    "$Suite" "$Suite" > "\$Out"
+  printf '{"context":{"executable":"%s","thinlocks_build_type":"%s"},"benchmarks":[{"name":"%s/op","real_time":1.0}]}\n' \
+    "$Suite" "\$BuildType" "$Suite" > "\$Out"
 fi
 if [ -f "$SANDBOX/exitcode.$Suite" ]; then
   exit "\$(cat "$SANDBOX/exitcode.$Suite")"
@@ -144,6 +151,27 @@ if sentinels_untouched "$OUT_D"; then
   pass "scenario D: committed BENCH_*.json untouched"
 else
   fail "scenario D: BENCH_*.json clobbered despite trace failure"
+fi
+
+#--- Scenario E: a suite built without NDEBUG -> publish refused ---------#
+# The stub reports thinlocks_build_type "debug" for one suite; the merge
+# must refuse the whole trajectory and leave the sentinels untouched —
+# a debug-build timing must never overwrite the committed numbers.
+OUT_E="$SANDBOX/out-e"
+seed_sentinels "$OUT_E"
+touch "$SANDBOX/debugctx.bench_wakeup"
+BENCH_OUT_DIR="$OUT_E" bash "$RUN_BENCHES" "$BUILD" >/dev/null 2>&1
+Status=$?
+rm -f "$SANDBOX/debugctx.bench_wakeup"
+if [ "$Status" -eq 0 ]; then
+  fail "scenario E: debug-build suite context did not fail the script"
+else
+  pass "scenario E: debug-build suite context refused (status $Status)"
+fi
+if sentinels_untouched "$OUT_E"; then
+  pass "scenario E: committed BENCH_*.json untouched after refusal"
+else
+  fail "scenario E: a BENCH_*.json was clobbered by a debug-build run"
 fi
 
 if [ "$Failures" -ne 0 ]; then
