@@ -27,13 +27,19 @@
 // admits).  Any violated check exits non-zero, which is what makes it
 // usable from ctest and bench/run_benches.sh (BENCH_SOAK=1).
 //
+// The harness is protocol-generic: --protocol NAME (or the
+// THINLOCKS_PROTOCOL env var) soaks any registered protocol; the name
+// lands in the SLO snapshot, the config block, and every trace span.
+// --adaptive stays thin-lock-only (the engine steers header policies).
+//
 // Usage:
 //   bench_soak [--duration-s N] [--rate R] [--workers N] [--seed S]
-//              [--chaos] [--smoke] [--adaptive] [--out BENCH_soak.json]
-//              [--trace-out PATH]
+//              [--protocol NAME] [--chaos] [--smoke] [--adaptive]
+//              [--out BENCH_soak.json] [--trace-out PATH]
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/ProtocolRegistry.h"
 #include "load/SoakHarness.h"
 #include "obs/ChromeTrace.h"
 #include "support/FailPoint.h"
@@ -57,6 +63,8 @@ struct Options {
   bool Chaos = false;
   bool Smoke = false;
   bool Adaptive = false;
+  /// Empty = resolve via $THINLOCKS_PROTOCOL, then the default.
+  const char *Protocol = "";
   const char *Out = "BENCH_soak.json";
   const char *TraceOut = nullptr;
 };
@@ -64,8 +72,8 @@ struct Options {
 [[noreturn]] void usage(const char *Argv0, int Exit) {
   std::fprintf(stderr,
                "usage: %s [--duration-s N] [--rate R] [--workers N]\n"
-               "          [--seed S] [--chaos] [--smoke] [--adaptive]\n"
-               "          [--out PATH] [--trace-out PATH]\n",
+               "          [--seed S] [--protocol NAME] [--chaos] [--smoke]\n"
+               "          [--adaptive] [--out PATH] [--trace-out PATH]\n",
                Argv0);
   std::exit(Exit);
 }
@@ -92,6 +100,10 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
       Opts.Smoke = true;
     else if (std::strcmp(Argv[I], "--adaptive") == 0)
       Opts.Adaptive = true;
+    else if (std::strcmp(Argv[I], "--protocol") == 0)
+      Opts.Protocol = next();
+    else if (std::strncmp(Argv[I], "--protocol=", 11) == 0)
+      Opts.Protocol = Argv[I] + 11;
     else if (std::strcmp(Argv[I], "--out") == 0)
       Opts.Out = next();
     else if (std::strcmp(Argv[I], "--trace-out") == 0)
@@ -128,7 +140,25 @@ int main(int Argc, char **Argv) {
     return 77; // ctest SKIP_RETURN_CODE.
   }
 
+  std::string Protocol = resolveProtocolName(Opts.Protocol);
+  if (!isRegisteredProtocol(Protocol)) {
+    std::fprintf(stderr, "error: unknown protocol '%s'; registered:",
+                 Protocol.c_str());
+    for (const std::string &Name : registeredProtocolNames())
+      std::fprintf(stderr, " %s", Name.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  if (Opts.Adaptive && Protocol != "ThinLock") {
+    std::fprintf(stderr,
+                 "error: --adaptive steers thin-lock header policies; "
+                 "protocol '%s' has none\n",
+                 Protocol.c_str());
+    return 2;
+  }
+
   SoakConfig Config;
+  Config.Protocol = Protocol;
   Config.ArrivalsPerSecond = Opts.Rate;
   Config.DurationSeconds = Opts.Smoke ? 3.0 : Opts.DurationSeconds;
   Config.Workers = Opts.Workers;
@@ -149,10 +179,10 @@ int main(int Argc, char **Argv) {
     Config.RegistryCapacity = 256;
   }
 
-  std::printf("bench_soak: rate=%.0f/s duration=%.1fs workers=%u seed=%llu "
-              "chaos=%d adaptive=%d\n",
-              Config.ArrivalsPerSecond, Config.DurationSeconds,
-              Config.Workers,
+  std::printf("bench_soak: protocol=%s rate=%.0f/s duration=%.1fs "
+              "workers=%u seed=%llu chaos=%d adaptive=%d\n",
+              Protocol.c_str(), Config.ArrivalsPerSecond,
+              Config.DurationSeconds, Config.Workers,
               static_cast<unsigned long long>(Config.Seed),
               Opts.Chaos ? 1 : 0, Opts.Adaptive ? 1 : 0);
 
@@ -218,6 +248,8 @@ int main(int Argc, char **Argv) {
   }
 
   // --- Self-checks -------------------------------------------------------
+  check(Slo.Protocol == Protocol,
+        "SLO snapshot not labeled with the protocol under load");
   check(Slo.SessionsCompleted > 0, "no sessions completed");
   check(Slo.RequestsCompleted > 0, "no requests completed");
   check(Slo.Acquire.monotone(), "acquire quantiles not monotone");
@@ -257,7 +289,8 @@ int main(int Argc, char **Argv) {
   }
 
   // --- Artifacts ---------------------------------------------------------
-  std::string Json = "{\n  \"config\": {\"rate_per_s\": " +
+  std::string Json = "{\n  \"config\": {\"protocol\": \"" + Protocol +
+                     "\", \"rate_per_s\": " +
                      std::to_string(Config.ArrivalsPerSecond) +
                      ", \"duration_s\": " +
                      std::to_string(Config.DurationSeconds) +
@@ -292,6 +325,8 @@ int main(int Argc, char **Argv) {
             ", \"monitor_retirements\": " +
             std::to_string(Result.MonitorRetirements) + "}";
   }
+  if (!Result.ProtocolStatsJson.empty())
+    Json += ",\n  \"protocol_stats\": " + Result.ProtocolStatsJson;
   Json += "}\n";
   std::ofstream OutFile(Opts.Out, std::ios::binary | std::ios::trunc);
   if (!OutFile || !(OutFile << Json) || !OutFile.flush()) {

@@ -28,6 +28,10 @@
 #                   traced macro replay (see DESIGN.md §10).
 #   BENCH_ADAPTIVE=1  also run bench_adaptive (the profiler->policy A/B,
 #                   DESIGN.md §13) and stage BENCH_adaptive.json.
+#   BENCH_MATRIX=1  also run bench_matrix (every registered protocol x
+#                   the shared workload battery, DESIGN.md §14) and stage
+#                   BENCH_matrix.json; BENCH_MATRIX_ARGS overrides the
+#                   default (full-size) profile, e.g. --smoke.
 #
 # Every suite must have been built with NDEBUG (the bench preset): the
 # merge refuses to publish a document whose thinlocks_build_type context
@@ -196,6 +200,51 @@ if [ "${BENCH_SOAK:-0}" != 0 ]; then
     exit 1
   fi
   STAGED+=(BENCH_soak.json)
+fi
+
+# Optional cross-protocol matrix artifact: every registered protocol
+# through the same workload battery (bench_matrix is self-checking; a
+# failed grid publishes nothing).  The schema gate below mirrors the
+# merge()'s build-type refusal: a debug matrix never lands.
+if [ "${BENCH_MATRIX:-0}" != 0 ]; then
+  if [ ! -x "$BUILD_DIR/bench/bench_matrix" ]; then
+    echo "error: BENCH_MATRIX=1 but $BUILD_DIR/bench/bench_matrix is not built." >&2
+    exit 1
+  fi
+  echo "== bench_matrix" >&2
+  # shellcheck disable=SC2086  # word-splitting of the args is the point
+  if ! "$BUILD_DIR/bench/bench_matrix" ${BENCH_MATRIX_ARGS:-} \
+       --out "$TMP/staged/BENCH_matrix.json" >&2; then
+    echo "error: bench_matrix failed; aborting without touching the" \
+         "committed BENCH_*.json files." >&2
+    exit 1
+  fi
+  if ! python3 - "$TMP/staged/BENCH_matrix.json" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("schema") == "thinlocks-bench-matrix-v1", doc.get("schema")
+assert doc.get("build_type") == "release", (
+    f"build_type is {doc.get('build_type')!r}, not 'release' — rebuild "
+    "with the bench preset (cmake --preset bench) before publishing")
+protocols, workloads = doc["protocols"], doc["workloads"]
+assert len(protocols) >= 4, protocols
+assert len(workloads) >= 3, workloads
+rows = doc["rows"]
+assert len(rows) == len(protocols) * len(workloads), len(rows)
+for row in rows:
+    assert row["protocol"] in protocols and row["workload"] in workloads
+    assert row["protocol_impl"] and row["ops"] > 0
+print(f"BENCH_matrix.json ok ({len(protocols)} protocols x "
+      f"{len(workloads)} workloads)")
+PYEOF
+  then
+    echo "error: BENCH_matrix.json failed schema validation; aborting" \
+         "without touching the committed BENCH_*.json files." >&2
+    exit 1
+  fi
+  STAGED+=(BENCH_matrix.json)
 fi
 
 # Everything succeeded: publish the staged files together.

@@ -42,6 +42,22 @@ bool EagerMonitor::unlockChecked(Object *Obj, const ThreadContext &Thread) {
   return Monitor && Monitor->unlockChecked(Thread);
 }
 
+bool EagerMonitor::tryLock(Object *Obj, const ThreadContext &Thread) {
+  return resolve(Obj, /*CreateIfMissing=*/true)->tryLock(Thread);
+}
+
+TimedLockStatus EagerMonitor::tryLockFor(Object *Obj,
+                                         const ThreadContext &Thread,
+                                         int64_t TimeoutNanos) {
+  FatLock::TimedResult Result =
+      resolve(Obj, /*CreateIfMissing=*/true)->lockIfLiveFor(Thread,
+                                                            TimeoutNanos);
+  // Eager monitors are permanent (never retired) and this baseline has no
+  // waits-for graph, so only two outcomes exist.
+  return Result == FatLock::TimedResult::Acquired ? TimedLockStatus::Acquired
+                                                  : TimedLockStatus::TimedOut;
+}
+
 bool EagerMonitor::holdsLock(Object *Obj,
                              const ThreadContext &Thread) const {
   FatLock *Monitor =

@@ -48,6 +48,9 @@ public:
   void lock(Object *Obj, const ThreadContext &Thread);
   void unlock(Object *Obj, const ThreadContext &Thread);
   bool unlockChecked(Object *Obj, const ThreadContext &Thread);
+  bool tryLock(Object *Obj, const ThreadContext &Thread);
+  TimedLockStatus tryLockFor(Object *Obj, const ThreadContext &Thread,
+                             int64_t TimeoutNanos);
   bool holdsLock(Object *Obj, const ThreadContext &Thread) const;
   uint32_t lockDepth(Object *Obj, const ThreadContext &Thread) const;
   WaitStatus wait(Object *Obj, const ThreadContext &Thread,

@@ -3,6 +3,7 @@
 #include "baselines/HotLocks.h"
 
 #include <cassert>
+#include <cstdio>
 
 using namespace thinlocks;
 
@@ -158,6 +159,41 @@ bool HotLocks::unlockChecked(Object *Obj, const ThreadContext &Thread) {
   return Ok;
 }
 
+bool HotLocks::tryLock(Object *Obj, const ThreadContext &Thread) {
+  HotSlot *Hot = nullptr;
+  CacheEntry *Entry = nullptr;
+  resolve(Obj, /*CreateIfMissing=*/true, /*AllowPromotion=*/true, Hot,
+          Entry);
+  if (Hot) {
+    HotPathOps.increment();
+    return Hot->Lock.tryLock(Thread);
+  }
+  CachePathOps.increment();
+  bool Ok = Entry->Lock.tryLock(Thread);
+  unpin(Entry);
+  return Ok;
+}
+
+TimedLockStatus HotLocks::tryLockFor(Object *Obj, const ThreadContext &Thread,
+                                     int64_t TimeoutNanos) {
+  HotSlot *Hot = nullptr;
+  CacheEntry *Entry = nullptr;
+  resolve(Obj, /*CreateIfMissing=*/true, /*AllowPromotion=*/true, Hot,
+          Entry);
+  FatLock *Lock = Hot ? &Hot->Lock : &Entry->Lock;
+  if (Hot)
+    HotPathOps.increment();
+  else
+    CachePathOps.increment();
+  FatLock::TimedResult Result = Lock->lockIfLiveFor(Thread, TimeoutNanos);
+  if (Entry)
+    unpin(Entry);
+  // Hot slots and pinned cache entries are never retired mid-operation,
+  // and this baseline has no waits-for graph, so only two outcomes exist.
+  return Result == FatLock::TimedResult::Acquired ? TimedLockStatus::Acquired
+                                                  : TimedLockStatus::TimedOut;
+}
+
 bool HotLocks::holdsLock(Object *Obj, const ThreadContext &Thread) const {
   uint32_t Word = Obj->lockWord().load(std::memory_order_acquire);
   if (isHotWord(Word))
@@ -267,4 +303,19 @@ HotLocksStats HotLocks::stats() const {
   Snapshot.HotPathOps = HotPathOps.value();
   Snapshot.CachePathOps = CachePathOps.value();
   return Snapshot;
+}
+
+std::string HotLocks::statsJson() const {
+  HotLocksStats S = stats();
+  char Buffer[256];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "{\"hot_path_ops\": %llu, \"cache_path_ops\": %llu, "
+                "\"promotions\": %llu, \"sweeps\": %llu, "
+                "\"sweep_scanned\": %llu}",
+                (unsigned long long)S.HotPathOps,
+                (unsigned long long)S.CachePathOps,
+                (unsigned long long)S.Promotions,
+                (unsigned long long)S.Sweeps,
+                (unsigned long long)S.SweepScannedEntries);
+  return Buffer;
 }

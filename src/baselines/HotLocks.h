@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -68,6 +69,9 @@ public:
   void lock(Object *Obj, const ThreadContext &Thread);
   void unlock(Object *Obj, const ThreadContext &Thread);
   bool unlockChecked(Object *Obj, const ThreadContext &Thread);
+  bool tryLock(Object *Obj, const ThreadContext &Thread);
+  TimedLockStatus tryLockFor(Object *Obj, const ThreadContext &Thread,
+                             int64_t TimeoutNanos);
   bool holdsLock(Object *Obj, const ThreadContext &Thread) const;
   uint32_t lockDepth(Object *Obj, const ThreadContext &Thread) const;
   WaitStatus wait(Object *Obj, const ThreadContext &Thread,
@@ -86,6 +90,10 @@ public:
   uint32_t displacedHeader(const Object *Obj) const;
 
   HotLocksStats stats() const;
+
+  /// \returns the hot/cache path counters rendered as a JSON object
+  /// literal (the SyncBackend statsJson capability).
+  std::string statsJson() const;
 
 private:
   /// Bit 31 of the header word: set = the word holds a hot-lock id.

@@ -3,6 +3,7 @@
 #include "baselines/MonitorCache.h"
 
 #include <cassert>
+#include <cstdio>
 
 using namespace thinlocks;
 
@@ -105,6 +106,27 @@ bool MonitorCache::unlockChecked(Object *Obj, const ThreadContext &Thread) {
   return Ok;
 }
 
+bool MonitorCache::tryLock(Object *Obj, const ThreadContext &Thread) {
+  CachedMonitor *Monitor = resolveAndPin(Obj, /*CreateIfMissing=*/true);
+  bool Ok = Monitor->Lock.tryLock(Thread);
+  unpin(Monitor);
+  return Ok;
+}
+
+TimedLockStatus MonitorCache::tryLockFor(Object *Obj,
+                                         const ThreadContext &Thread,
+                                         int64_t TimeoutNanos) {
+  CachedMonitor *Monitor = resolveAndPin(Obj, /*CreateIfMissing=*/true);
+  FatLock::TimedResult Result = Monitor->Lock.lockIfLiveFor(Thread,
+                                                            TimeoutNanos);
+  unpin(Monitor);
+  // A pinned cache monitor is never retired out from under us, so Retired
+  // is unreachable; the baseline has no waits-for graph, so Deadlock is
+  // never reported.
+  return Result == FatLock::TimedResult::Acquired ? TimedLockStatus::Acquired
+                                                  : TimedLockStatus::TimedOut;
+}
+
 bool MonitorCache::holdsLock(Object *Obj, const ThreadContext &Thread) const {
   std::lock_guard<std::mutex> Guard(CacheMutex);
   auto It = Map.find(Obj);
@@ -172,4 +194,18 @@ MonitorCacheStats MonitorCache::stats() const {
 size_t MonitorCache::mappedMonitorCount() const {
   std::lock_guard<std::mutex> Guard(CacheMutex);
   return Map.size();
+}
+
+std::string MonitorCache::statsJson() const {
+  MonitorCacheStats S = stats();
+  char Buffer[256];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "{\"lookups\": %llu, \"hits\": %llu, \"misses\": %llu, "
+                "\"sweeps\": %llu, \"sweep_scanned\": %llu, "
+                "\"pool_growths\": %llu}",
+                (unsigned long long)S.Lookups, (unsigned long long)S.Hits,
+                (unsigned long long)S.Misses, (unsigned long long)S.Sweeps,
+                (unsigned long long)S.SweepScannedEntries,
+                (unsigned long long)S.PoolGrowths);
+  return Buffer;
 }

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -65,6 +66,9 @@ public:
   void lock(Object *Obj, const ThreadContext &Thread);
   void unlock(Object *Obj, const ThreadContext &Thread);
   bool unlockChecked(Object *Obj, const ThreadContext &Thread);
+  bool tryLock(Object *Obj, const ThreadContext &Thread);
+  TimedLockStatus tryLockFor(Object *Obj, const ThreadContext &Thread,
+                             int64_t TimeoutNanos);
   bool holdsLock(Object *Obj, const ThreadContext &Thread) const;
   uint32_t lockDepth(Object *Obj, const ThreadContext &Thread) const;
   WaitStatus wait(Object *Obj, const ThreadContext &Thread,
@@ -74,6 +78,10 @@ public:
 
   /// \returns a snapshot of the cache behaviour counters.
   MonitorCacheStats stats() const;
+
+  /// \returns the cache counters rendered as a JSON object literal (the
+  /// SyncBackend statsJson capability).
+  std::string statsJson() const;
 
   /// \returns the number of object->monitor mappings currently live.
   size_t mappedMonitorCount() const;

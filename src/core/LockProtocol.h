@@ -34,7 +34,22 @@ enum class NotifyStatus {
   NotOwner, ///< Caller did not own the monitor (IllegalMonitorState).
 };
 
+/// Outcome of a bounded acquisition attempt (tryLockFor).
+enum class TimedLockStatus : uint8_t {
+  Acquired, ///< The monitor is now held by the caller.
+  TimedOut, ///< Deadline expired; no cycle was confirmed.
+  Deadlock, ///< Deadline expired *and* a waits-for cycle through the
+            ///< caller was double-confirmed.  Only protocols with a
+            ///< waits-for graph (ThinLock) ever report this; the
+            ///< baselines and Fissile always degrade to TimedOut.
+};
+
 /// Compile-time interface every synchronization protocol satisfies.
+/// tryLock/tryLockFor are part of the contract: the soak harness's
+/// admission ladder and the deadlock-aware slow paths need bounded
+/// acquisition from *any* protocol, so a protocol that omits them is
+/// rejected at compile time (see the negative check in
+/// tests/conformance_test.cpp).
 template <typename P>
 concept SyncProtocol = requires(P Protocol, Object *Obj,
                                 const ThreadContext &Thread,
@@ -42,6 +57,10 @@ concept SyncProtocol = requires(P Protocol, Object *Obj,
   { Protocol.lock(Obj, Thread) } -> std::same_as<void>;
   { Protocol.unlock(Obj, Thread) } -> std::same_as<void>;
   { Protocol.unlockChecked(Obj, Thread) } -> std::same_as<bool>;
+  { Protocol.tryLock(Obj, Thread) } -> std::same_as<bool>;
+  {
+    Protocol.tryLockFor(Obj, Thread, TimeoutNanos)
+  } -> std::same_as<TimedLockStatus>;
   { Protocol.holdsLock(Obj, Thread) } -> std::same_as<bool>;
   { Protocol.lockDepth(Obj, Thread) } -> std::same_as<uint32_t>;
   { Protocol.wait(Obj, Thread, TimeoutNanos) } -> std::same_as<WaitStatus>;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 namespace thinlocks {
 
@@ -30,6 +31,9 @@ public:
   virtual void lock(Object *Obj, const ThreadContext &Thread) = 0;
   virtual void unlock(Object *Obj, const ThreadContext &Thread) = 0;
   virtual bool unlockChecked(Object *Obj, const ThreadContext &Thread) = 0;
+  virtual bool tryLock(Object *Obj, const ThreadContext &Thread) = 0;
+  virtual TimedLockStatus tryLockFor(Object *Obj, const ThreadContext &Thread,
+                                     int64_t TimeoutNanos) = 0;
   virtual bool holdsLock(Object *Obj,
                          const ThreadContext &Thread) const = 0;
   virtual uint32_t lockDepth(Object *Obj,
@@ -39,6 +43,24 @@ public:
   virtual NotifyStatus notify(Object *Obj, const ThreadContext &Thread) = 0;
   virtual NotifyStatus notifyAll(Object *Obj,
                                  const ThreadContext &Thread) = 0;
+
+  /// Optional capability: a per-protocol stats snapshot as a JSON object
+  /// literal, or "" when the protocol exposes none.  The adapter detects
+  /// a `std::string statsJson() const` member on the concrete protocol.
+  virtual std::string statsJson() const { return {}; }
+
+  /// Optional capability: ask the protocol to eagerly bind \p Obj to its
+  /// heavyweight representation (thin-lock inflation).  \p Thread must
+  /// own the monitor (like Object.wait) — hinting an unowned monitor is
+  /// a caller bug.  Returns false when the protocol has no such notion;
+  /// callers fall back to a portable contention recipe (e.g. a short
+  /// timed wait).  The adapter detects an
+  /// `inflate(Object *, const ThreadContext &)` member.
+  virtual bool inflateHint(Object *Obj, const ThreadContext &Thread) {
+    (void)Obj;
+    (void)Thread;
+    return false;
+  }
 };
 
 /// Adapts a concrete protocol (held by reference; not owned).
@@ -58,6 +80,13 @@ public:
   bool unlockChecked(Object *Obj, const ThreadContext &Thread) override {
     return Impl.unlockChecked(Obj, Thread);
   }
+  bool tryLock(Object *Obj, const ThreadContext &Thread) override {
+    return Impl.tryLock(Obj, Thread);
+  }
+  TimedLockStatus tryLockFor(Object *Obj, const ThreadContext &Thread,
+                             int64_t TimeoutNanos) override {
+    return Impl.tryLockFor(Obj, Thread, TimeoutNanos);
+  }
   bool holdsLock(Object *Obj, const ThreadContext &Thread) const override {
     return Impl.holdsLock(Obj, Thread);
   }
@@ -74,6 +103,22 @@ public:
   }
   NotifyStatus notifyAll(Object *Obj, const ThreadContext &Thread) override {
     return Impl.notifyAll(Obj, Thread);
+  }
+  std::string statsJson() const override {
+    if constexpr (requires { Impl.statsJson(); })
+      return Impl.statsJson();
+    else
+      return {};
+  }
+  bool inflateHint(Object *Obj, const ThreadContext &Thread) override {
+    if constexpr (requires { Impl.inflate(Obj, Thread); }) {
+      Impl.inflate(Obj, Thread);
+      return true;
+    } else {
+      (void)Obj;
+      (void)Thread;
+      return false;
+    }
   }
 };
 

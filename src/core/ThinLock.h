@@ -91,14 +91,6 @@ namespace thinlocks {
 /// burst vs. inflate/deflate thrashing under repeated contention.
 enum class DeflationPolicy : uint8_t { Never, WhenQuiescent };
 
-/// Outcome of a bounded acquisition attempt (tryLockFor).
-enum class TimedLockStatus : uint8_t {
-  Acquired, ///< The monitor is now held by the caller.
-  TimedOut, ///< Deadline expired; no cycle was confirmed.
-  Deadlock, ///< Deadline expired *and* a waits-for cycle through the
-            ///< caller was double-confirmed.
-};
-
 /// Tuning for the contention escalation ladder (pause -> yield -> park;
 /// see SpinPolicy) and the deadlock watchdog layered on top of it.
 struct ContentionOptions {

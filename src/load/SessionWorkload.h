@@ -31,7 +31,8 @@
 #ifndef THINLOCKS_LOAD_SESSIONWORKLOAD_H
 #define THINLOCKS_LOAD_SESSIONWORKLOAD_H
 
-#include "core/ThinLock.h"
+#include "core/SyncBackend.h"
+#include "threads/ThreadRegistry.h"
 #include "load/Zipf.h"
 #include "support/Histogram.h"
 #include "support/SplitMix64.h"
@@ -78,12 +79,16 @@ struct SessionOutcome {
   uint32_t MonitorsRequested = 0;
 };
 
-/// Executes sessions against one lock manager + heap + registry.  The
-/// shared hot-object set is allocated at construction; run() is called
+/// Executes sessions against one lock protocol + heap + registry.  The
+/// protocol is consumed through the type-erased SyncBackend seam, so the
+/// soak runs identically over ThinLock, the baselines, or Fissile; the
+/// only protocol-specific notion (explicit inflation hints in heavy
+/// sessions) degrades portably via SyncBackend::inflateHint.  The shared
+/// hot-object set is allocated at construction; run() is called
 /// concurrently from attached worker threads.
 class SessionWorkload {
 public:
-  SessionWorkload(ThinLockManager &Locks, Heap &TheHeap,
+  SessionWorkload(SyncBackend &Sync, Heap &TheHeap,
                   ThreadRegistry &Registry, size_t HotObjects,
                   double ZipfTheta, SessionParams Params = SessionParams());
 
@@ -106,7 +111,7 @@ private:
   void lightRequest(const ThreadContext &Ctx, SplitMix64 &Rng,
                     SessionOutcome &Out, LatencyHistogram &AcquireHist);
 
-  ThinLockManager &Locks;
+  SyncBackend &Sync;
   Heap &TheHeap;
   ThreadRegistry &Registry;
   ZipfSampler Popularity;

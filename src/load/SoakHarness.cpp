@@ -2,9 +2,11 @@
 
 #include "load/SoakHarness.h"
 
+#include "core/ProtocolRegistry.h"
 #include "heap/Heap.h"
 #include "obs/LockEventCollector.h"
 #include "support/FailPoint.h"
+#include "support/Fatal.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -72,6 +74,23 @@ struct WorkerState {
   uint64_t AttachFallbacks = 0;
 };
 
+/// Builds the configured protocol (and its substrate) or dies loudly: a
+/// typo'd protocol name is a configuration error, not a degraded run.
+std::unique_ptr<ProtocolHandle> makeProtocol(const SoakConfig &Config,
+                                             LockStats &Stats) {
+  ProtocolConfig PC;
+  PC.MonitorCapacity = Config.MonitorCapacity;
+  PC.DeflateWhenQuiescent = Config.DeflateWhenQuiescent;
+  PC.Stats = &Stats;
+  std::unique_ptr<ProtocolHandle> Handle =
+      createProtocol(Config.Protocol, PC);
+  if (!Handle)
+    fatalError("soak: unknown protocol '%s' (see core/ProtocolRegistry.h "
+               "for the registered names)",
+               Config.Protocol.c_str());
+  return Handle;
+}
+
 class SoakRun {
 public:
   explicit SoakRun(const SoakConfig &Config)
@@ -79,13 +98,9 @@ public:
         Registry(Config.RegistryCapacity != 0
                      ? Config.RegistryCapacity
                      : ThreadRegistry::MaxThreadIndex),
-        Monitors(Config.MonitorCapacity != 0
-                     ? Config.MonitorCapacity
-                     : MonitorTable::MaxMonitorIndex),
-        Locks(Monitors, &Stats,
-              Config.DeflateWhenQuiescent ? DeflationPolicy::WhenQuiescent
-                                          : DeflationPolicy::Never),
-        Workload(Locks, TheHeap, Registry, Config.HotObjects,
+        Protocol(makeProtocol(Config, Stats)),
+        Monitors(Protocol->monitorTable()), Thin(Protocol->thinLocks()),
+        Workload(Protocol->sync(), TheHeap, Registry, Config.HotObjects,
                  Config.ZipfTheta, Config.Session),
         Collector(Registry), Controller(Config.Limits) {
     if (Config.Chaos && failpoint::compiledIn())
@@ -93,9 +108,13 @@ public:
     ChaosArmed.assign(Chaos.size(), false);
     ChaosDone.assign(Chaos.size(), false);
     if (Config.AdaptivePolicy) {
+      if (!Thin || !Monitors)
+        fatalError("soak: AdaptivePolicy steers thin-lock header "
+                   "policies; protocol '%s' has none",
+                   Protocol->name());
       Engine = std::make_unique<policy::AdaptivePolicyEngine>(
-          Collector, Monitors, Config.Policy);
-      Locks.setPolicyStore(&Engine->policyStore());
+          Collector, *Monitors, Config.Policy);
+      Thin->setPolicyStore(&Engine->policyStore());
     }
   }
 
@@ -115,9 +134,13 @@ private:
 
   const SoakConfig Config;
   ThreadRegistry Registry;
-  MonitorTable Monitors;
   LockStats Stats;
-  ThinLockManager Locks;
+  /// Owns the protocol under load plus its substrate (type-erased).
+  std::unique_ptr<ProtocolHandle> Protocol;
+  /// Capability views into *Protocol; null when the protocol lacks the
+  /// substrate (only ThinLock has a MonitorTable / policy store).
+  MonitorTable *Monitors = nullptr;
+  ThinLockManager *Thin = nullptr;
   Heap TheHeap;
   SessionWorkload Workload;
   obs::LockEventCollector Collector;
@@ -316,9 +339,12 @@ void SoakRun::tickerLoop() {
     updateChaos(Frac);
 
     PressureSignals Signals;
-    Signals.MonitorOccupancy = Monitors.occupancy();
+    // Monitor-table pressure is a thin-lock notion; protocols without
+    // the substrate report permanent calm on those axes.
+    Signals.MonitorOccupancy = Monitors ? Monitors->occupancy() : 0;
     Signals.RegistryOccupancy = Registry.occupancy();
-    Signals.MonitorExhaustionEvents = Monitors.exhaustionEvents();
+    Signals.MonitorExhaustionEvents =
+        Monitors ? Monitors->exhaustionEvents() : 0;
     Signals.RegistryExhaustionEvents = Registry.exhaustionEvents();
     Signals.EmergencyInflations = Stats.snapshot().EmergencyInflations;
     DegradationLevel Before = Controller.level();
@@ -437,6 +463,7 @@ SoakResult SoakRun::finish(uint64_t RunNanos) {
       Wake.record(E.Arg);
 
   obs::SloSnapshot &Slo = Result.Slo;
+  Slo.Protocol = Protocol->name();
   Slo.DurationSeconds = static_cast<double>(RunNanos) / 1e9;
   Slo.Acquire = obs::SloQuantiles::of(Acquire);
   Slo.Session = obs::SloQuantiles::of(Session);
@@ -463,7 +490,7 @@ SoakResult SoakRun::finish(uint64_t RunNanos) {
   if (Slo.SessionsOffered > 0)
     Slo.ShedRate = static_cast<double>(Slo.SessionsShed) /
                    static_cast<double>(Slo.SessionsOffered);
-  Slo.MonitorExhaustionEvents = Monitors.exhaustionEvents();
+  Slo.MonitorExhaustionEvents = Monitors ? Monitors->exhaustionEvents() : 0;
   Slo.RegistryExhaustionEvents = Registry.exhaustionEvents();
   Slo.EmergencyInflations = Stats.snapshot().EmergencyInflations;
   AdmissionController::Counters Ledger = Controller.counters();
@@ -477,7 +504,8 @@ SoakResult SoakRun::finish(uint64_t RunNanos) {
   Result.ChaosPhasesRun = ChaosPhasesRun;
   if (Engine)
     Result.Policy = Engine->counters();
-  Result.MonitorRetirements = Monitors.retirementEvents();
+  Result.MonitorRetirements = Monitors ? Monitors->retirementEvents() : 0;
+  Result.ProtocolStatsJson = Protocol->statsJson();
 
   // Worst tail: slowest arrival-to-completion sessions, exported as
   // trace spans over the lock events inside their windows.
@@ -495,7 +523,7 @@ SoakResult SoakRun::finish(uint64_t RunNanos) {
     Result.WorstSessions.assign(AllSessions.begin(),
                                 AllSessions.begin() + WorstCount);
     Result.WorstTraceJson = obs::worstSessionsTraceJson(
-        Events, Result.WorstSessions, &TheHeap.classes());
+        Events, Result.WorstSessions, &TheHeap.classes(), Protocol->name());
   }
   return Result;
 }

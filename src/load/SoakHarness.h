@@ -61,6 +61,10 @@ struct ChaosPhase {
 /// Harness configuration.  Defaults are the 1-CPU CI smoke profile;
 /// real soaks raise DurationSeconds and ArrivalsPerSecond.
 struct SoakConfig {
+  /// Registry name of the protocol under load ("ThinLock", "JDK111",
+  /// "IBM112", "EagerMonitor", "Fissile"; see core/ProtocolRegistry.h).
+  /// Unknown names are a fatal configuration error.
+  std::string Protocol = "ThinLock";
   double ArrivalsPerSecond = 300;
   double DurationSeconds = 3;
   unsigned Workers = 3;
@@ -89,7 +93,9 @@ struct SoakConfig {
   double WorstFraction = 0.01;
   /// Close the profiler->policy loop: run an AdaptivePolicyEngine off
   /// the controller's tick cadence and wire its decision store into the
-  /// lock slow paths.
+  /// lock slow paths.  Thin-lock only: the engine steers header-word
+  /// policies, so enabling it with any other Protocol is a fatal
+  /// configuration error (callers pre-validate; see bench_soak).
   bool AdaptivePolicy = false;
   /// Engine tuning when AdaptivePolicy is on.  The harness owns its
   /// heap and every session object outlives the run, so enabling
@@ -122,8 +128,12 @@ struct SoakResult {
   /// Adaptive engine ledger (all zeros when AdaptivePolicy is off).
   policy::PolicyCounters Policy;
   /// Monitors retired by deflation over the run (owner-path quiescent
-  /// retirement plus the engine's speculative scan).
+  /// retirement plus the engine's speculative scan).  Zero for
+  /// protocols without a MonitorTable.
   uint64_t MonitorRetirements = 0;
+  /// The protocol's own stats snapshot as a JSON object literal ("" for
+  /// protocols without the statsJson capability).
+  std::string ProtocolStatsJson;
 };
 
 /// \returns the deterministic chaos schedule for \p Seed (exposed for

@@ -39,6 +39,17 @@ void appendKv(std::string &Out, const char *Key, double Value,
   Out += Buf;
 }
 
+/// String values come from the protocol registry (identifier-shaped), so
+/// no escaping is needed.
+void appendKv(std::string &Out, const char *Key, const std::string &Value,
+              bool Comma = true) {
+  Out += "    \"";
+  Out += Key;
+  Out += "\": \"";
+  Out += Value;
+  Out += Comma ? "\",\n" : "\"\n";
+}
+
 void appendQuantiles(std::string &Out, const char *Key,
                      const SloQuantiles &Q) {
   char Buf[256];
@@ -73,6 +84,7 @@ uint64_t eventStartNanos(const LockEvent &E) {
 
 std::string SloSnapshot::toJson() const {
   std::string Out = "{\n";
+  appendKv(Out, "protocol", Protocol);
   appendKv(Out, "duration_s", DurationSeconds);
   appendQuantiles(Out, "acquire", Acquire);
   appendQuantiles(Out, "session", Session);
@@ -106,7 +118,8 @@ std::string SloSnapshot::toJson() const {
 
 std::string obs::worstSessionsTraceJson(
     const std::vector<LockEvent> &Events,
-    const std::vector<SessionSpanInfo> &Worst, const ClassRegistry *Classes) {
+    const std::vector<SessionSpanInfo> &Worst, const ClassRegistry *Classes,
+    const std::string &Protocol) {
   std::vector<TraceSpan> Spans;
   Spans.reserve(Worst.size());
   for (const SessionSpanInfo &S : Worst) {
@@ -115,6 +128,8 @@ std::string obs::worstSessionsTraceJson(
     Span.Tid = S.WorkerTid;
     Span.StartNanos = S.ArrivalNanos;
     Span.EndNanos = std::max(S.EndNanos, S.ArrivalNanos);
+    if (!Protocol.empty())
+      Span.Args.emplace_back("protocol", Protocol);
     Span.Args.emplace_back("kind", S.Heavy ? "heavy" : "light");
     if (S.Degraded)
       Span.Args.emplace_back("degraded", "true");

@@ -68,6 +68,10 @@ struct SessionSpanInfo {
 
 /// A coherent end-of-run SLO summary.
 struct SloSnapshot {
+  /// Registry name of the protocol that served the run ("ThinLock",
+  /// "Fissile", ...); every published artifact carries the label so
+  /// cross-protocol soaks stay attributable.
+  std::string Protocol = "ThinLock";
   double DurationSeconds = 0;
 
   SloQuantiles Acquire; ///< Per-acquisition latency (lock() wall time).
@@ -109,9 +113,12 @@ struct SloSnapshot {
 /// the subset of \p Events that falls inside any worst-session window
 /// (so the artifact stays small no matter how long the run was).  Spans
 /// start at the session's *arrival*, making queueing delay visible.
+/// A non-empty \p Protocol is stamped onto every session span as a
+/// "protocol" arg so traces from cross-protocol soaks stay attributable.
 std::string worstSessionsTraceJson(const std::vector<LockEvent> &Events,
                                    const std::vector<SessionSpanInfo> &Worst,
-                                   const ClassRegistry *Classes);
+                                   const ClassRegistry *Classes,
+                                   const std::string &Protocol = {});
 
 } // namespace obs
 } // namespace thinlocks

@@ -175,6 +175,22 @@ bool TracingBackend::unlockChecked(Object *Obj,
   return Ok;
 }
 
+bool TracingBackend::tryLock(Object *Obj, const ThreadContext &Thread) {
+  bool Ok = Underlying.tryLock(Obj, Thread);
+  if (Ok)
+    record(TraceEvent::Kind::Lock, Obj, Thread);
+  return Ok;
+}
+
+TimedLockStatus TracingBackend::tryLockFor(Object *Obj,
+                                           const ThreadContext &Thread,
+                                           int64_t TimeoutNanos) {
+  TimedLockStatus Status = Underlying.tryLockFor(Obj, Thread, TimeoutNanos);
+  if (Status == TimedLockStatus::Acquired)
+    record(TraceEvent::Kind::Lock, Obj, Thread);
+  return Status;
+}
+
 WaitStatus TracingBackend::wait(Object *Obj, const ThreadContext &Thread,
                                 int64_t TimeoutNanos) {
   WaitStatus Status = Underlying.wait(Obj, Thread, TimeoutNanos);

@@ -110,6 +110,12 @@ public:
   void lock(Object *Obj, const ThreadContext &Thread) override;
   void unlock(Object *Obj, const ThreadContext &Thread) override;
   bool unlockChecked(Object *Obj, const ThreadContext &Thread) override;
+  /// A successful try/timed acquire records as a Lock (the trace format
+  /// has no failure events, and only successes affect nesting); a
+  /// failed one leaves no trace.
+  bool tryLock(Object *Obj, const ThreadContext &Thread) override;
+  TimedLockStatus tryLockFor(Object *Obj, const ThreadContext &Thread,
+                             int64_t TimeoutNanos) override;
   bool holdsLock(Object *Obj,
                  const ThreadContext &Thread) const override {
     return Underlying.holdsLock(Obj, Thread);
@@ -123,6 +129,10 @@ public:
   NotifyStatus notify(Object *Obj, const ThreadContext &Thread) override;
   NotifyStatus notifyAll(Object *Obj,
                          const ThreadContext &Thread) override;
+  std::string statsJson() const override { return Underlying.statsJson(); }
+  bool inflateHint(Object *Obj, const ThreadContext &Thread) override {
+    return Underlying.inflateHint(Obj, Thread);
+  }
 
   /// \returns the dense id assigned to \p Obj (interning it if new).
   uint32_t internObject(const Object *Obj);

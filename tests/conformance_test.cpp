@@ -1,9 +1,9 @@
 //===- tests/conformance_test.cpp - Cross-protocol conformance ------------===//
 //
-// One behavioural suite, instantiated for all three protocols the paper
-// compares (ThinLock, JDK111 monitor cache, IBM112 hot locks).  Whatever
-// the implementation strategy, Java monitor semantics must hold: mutual
-// exclusion, recursion, wait/notify, ownership errors.
+// One behavioural suite, instantiated for every protocol in the registry
+// (ThinLock, the JDK111/IBM112/EagerMonitor baselines, Fissile).
+// Whatever the implementation strategy, Java monitor semantics must
+// hold: mutual exclusion, recursion, wait/notify, ownership errors.
 //
 //===----------------------------------------------------------------------===//
 
@@ -12,6 +12,7 @@
 #include "baselines/MonitorCache.h"
 #include "core/ThinLock.h"
 #include "heap/Heap.h"
+#include "protocols/FissileLock.h"
 #include "threads/ThreadRegistry.h"
 
 #include <gtest/gtest.h>
@@ -46,6 +47,35 @@ template <> struct ProtocolMaker<EagerMonitor> {
   EagerMonitor Protocol;
 };
 
+template <> struct ProtocolMaker<FissileLock> {
+  FissileLock Protocol;
+};
+
+/// Negative concept check (the gap this seam closes): a protocol that
+/// lacks the bounded-acquisition surface must be rejected at compile
+/// time, not discovered as a template error inside a benchmark.
+struct MissingTryLockProtocol {
+  static const char *protocolName() { return "Broken"; }
+  void lock(Object *, const ThreadContext &) {}
+  void unlock(Object *, const ThreadContext &) {}
+  bool unlockChecked(Object *, const ThreadContext &) { return false; }
+  // No tryLock / tryLockFor.
+  bool holdsLock(Object *, const ThreadContext &) const { return false; }
+  uint32_t lockDepth(Object *, const ThreadContext &) const { return 0; }
+  WaitStatus wait(Object *, const ThreadContext &, int64_t = -1) {
+    return WaitStatus::NotOwner;
+  }
+  NotifyStatus notify(Object *, const ThreadContext &) {
+    return NotifyStatus::NotOwner;
+  }
+  NotifyStatus notifyAll(Object *, const ThreadContext &) {
+    return NotifyStatus::NotOwner;
+  }
+};
+static_assert(!SyncProtocol<MissingTryLockProtocol>,
+              "a protocol without tryLock/tryLockFor must not satisfy "
+              "the SyncProtocol concept");
+
 template <typename P> class ConformanceTest : public ::testing::Test {
 protected:
   Heap TheHeap;
@@ -64,8 +94,8 @@ protected:
   Object *newObject() { return TheHeap.allocate(*Class); }
 };
 
-using Protocols =
-    ::testing::Types<ThinLockManager, MonitorCache, HotLocks, EagerMonitor>;
+using Protocols = ::testing::Types<ThinLockManager, MonitorCache, HotLocks,
+                                   EagerMonitor, FissileLock>;
 TYPED_TEST_SUITE(ConformanceTest, Protocols);
 
 } // namespace
@@ -132,6 +162,43 @@ TYPED_TEST(ConformanceTest, ContenderExcludedAtNestingBoundary) {
   Contender.join();
   EXPECT_TRUE(Acquired.load(std::memory_order_acquire));
   EXPECT_FALSE(this->protocol().holdsLock(Obj, this->Main));
+}
+
+TYPED_TEST(ConformanceTest, TryLockUncontendedAndRecursive) {
+  Object *Obj = this->newObject();
+  EXPECT_TRUE(this->protocol().tryLock(Obj, this->Main));
+  EXPECT_EQ(this->protocol().lockDepth(Obj, this->Main), 1u);
+  EXPECT_TRUE(this->protocol().tryLock(Obj, this->Main));
+  EXPECT_EQ(this->protocol().lockDepth(Obj, this->Main), 2u);
+  this->protocol().unlock(Obj, this->Main);
+  this->protocol().unlock(Obj, this->Main);
+  EXPECT_FALSE(this->protocol().holdsLock(Obj, this->Main));
+}
+
+TYPED_TEST(ConformanceTest, TryLockForTimesOutThenAcquires) {
+  Object *Obj = this->newObject();
+  this->protocol().lock(Obj, this->Main);
+  std::atomic<bool> Failed{false};
+  std::thread Contender([&] {
+    ScopedThreadAttachment Attachment(this->Registry, "trier");
+    EXPECT_FALSE(this->protocol().tryLock(Obj, Attachment.context()));
+    EXPECT_EQ(this->protocol().tryLockFor(Obj, Attachment.context(),
+                                          /*TimeoutNanos=*/2'000'000),
+              TimedLockStatus::TimedOut);
+    Failed.store(true, std::memory_order_release);
+    // Unbounded-enough retry: once the owner releases, a bounded
+    // acquisition must succeed.
+    TimedLockStatus Status = TimedLockStatus::TimedOut;
+    while (Status != TimedLockStatus::Acquired)
+      Status = this->protocol().tryLockFor(Obj, Attachment.context(),
+                                           /*TimeoutNanos=*/5'000'000);
+    EXPECT_TRUE(this->protocol().holdsLock(Obj, Attachment.context()));
+    this->protocol().unlock(Obj, Attachment.context());
+  });
+  while (!Failed.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  this->protocol().unlock(Obj, this->Main);
+  Contender.join();
 }
 
 TYPED_TEST(ConformanceTest, UnlockCheckedOnUnownedFails) {

@@ -128,6 +128,13 @@ TEST(Integration, ProfileReplayCharacterizationMatchesTraceAnalysis) {
     bool unlockChecked(Object *O, const ThreadContext &C) {
       return T.unlockChecked(O, C);
     }
+    bool tryLock(Object *O, const ThreadContext &C) {
+      return T.tryLock(O, C);
+    }
+    TimedLockStatus tryLockFor(Object *O, const ThreadContext &C,
+                               int64_t N) {
+      return T.tryLockFor(O, C, N);
+    }
     bool holdsLock(Object *O, const ThreadContext &C) const {
       return T.holdsLock(O, C);
     }

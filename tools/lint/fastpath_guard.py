@@ -26,8 +26,18 @@ asserts, per symbol:
      bloat (a regression that doubles the path), not single-instruction
      scheduling noise.
 
-Usage: fastpath_guard.py [--object <ThinLock.cpp.o>] [--budget <file>]
+The same discipline covers the Fissile protocol's TS word
+(FissileLock::fastAcquireOutOfLine / fastReleaseOutOfLine in
+protocols/FissileLock.cpp): its fission argument is that only the queue
+head competes on the TS word, so the word's own acquire must stay one
+CAS and its release one store.
+
+Usage: fastpath_guard.py [--object <file.o> ...] [--budget <file>]
                          [--update-budget] [--verbose]
+
+--object is repeatable; symbols are collected across all given objects
+(default: ThinLock.cpp.o and FissileLock.cpp.o from the default-preset
+build tree).
 
 Requires objdump (binutils) on PATH; no third-party Python deps.
 Exit status: 0 clean, 1 violations, 2 usage/tooling error.
@@ -42,10 +52,14 @@ import sys
 POLICIES = ("DynamicPolicy", "UniprocessorPolicy", "MultiprocessorPolicy",
             "CasUnlockPolicy")
 OPS = ("lockOutOfLine", "unlockOutOfLine")
+FISSILE_OPS = ("fastAcquireOutOfLine", "fastReleaseOutOfLine")
 
-SYMBOL_RE = re.compile(
+THIN_SYMBOL_RE = re.compile(
     r"^[0-9a-f]+ <(thinlocks::ThinLockImpl<thinlocks::(\w+)>::"
     r"(\w+)\(.*)>:$"
+)
+FISSILE_SYMBOL_RE = re.compile(
+    r"^[0-9a-f]+ <thinlocks::FissileLock::(\w+)\(.*\)>:$"
 )
 INSN_RE = re.compile(r"^\s+[0-9a-f]+:\s+(\S+)(.*)$")
 
@@ -57,15 +71,24 @@ RET_MNEMONICS = {"ret", "retq"}
 CAS_SUBSTR = "cmpxchg"
 # Acquire symbols must CAS.  unlock for most policies is a plain store;
 # only CasUnlockPolicy releases with a CAS (the UnlkC&S ablation).
+# Fissile's TS acquire is likewise one CAS; its release is a plain store.
 MUST_CAS = {f"lockOutOfLine:{p}" for p in POLICIES}
 MUST_CAS.add("unlockOutOfLine:CasUnlockPolicy")
+MUST_CAS.add("fastAcquireOutOfLine:Fissile")
+
+EXPECTED_KEYS = sorted(
+    [f"{op}:{p}" for op in OPS for p in POLICIES]
+    + [f"{op}:Fissile" for op in FISSILE_OPS]
+)
 
 
-def default_object(root):
-    return os.path.join(
-        root, "build", "src", "CMakeFiles", "thinlocks.dir", "core",
-        "ThinLock.cpp.o",
-    )
+def default_objects(root):
+    objdir = os.path.join(root, "build", "src", "CMakeFiles",
+                          "thinlocks.dir")
+    return [
+        os.path.join(objdir, "core", "ThinLock.cpp.o"),
+        os.path.join(objdir, "protocols", "FissileLock.cpp.o"),
+    ]
 
 
 def parse_disassembly(objfile):
@@ -84,19 +107,27 @@ def parse_disassembly(objfile):
               file=sys.stderr)
         sys.exit(2)
 
+    def guarded_key(line):
+        sym = THIN_SYMBOL_RE.match(line)
+        if sym:
+            policy, op = sym.group(2), sym.group(3)
+            if policy in POLICIES and op in OPS:
+                return f"{op}:{policy}"
+            return None
+        sym = FISSILE_SYMBOL_RE.match(line)
+        if sym and sym.group(1) in FISSILE_OPS:
+            return f"{sym.group(1)}:Fissile"
+        return None
+
     regions = {}
     current = None
     done = False
     for line in out.splitlines():
-        sym = SYMBOL_RE.match(line)
-        if sym:
-            policy, op = sym.group(2), sym.group(3)
-            if policy in POLICIES and op in OPS:
-                current = f"{op}:{policy}"
+        if line.endswith(">:"):
+            current = guarded_key(line)
+            if current is not None:
                 regions[current] = []
                 done = False
-            else:
-                current = None
             continue
         if current is None or done:
             continue
@@ -140,8 +171,9 @@ def load_budget(path):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--object", default=None,
-                    help="ThinLock.cpp.o to inspect (default: the "
+    ap.add_argument("--object", action="append", default=None,
+                    help="object file to inspect; repeatable (default: "
+                    "ThinLock.cpp.o and FissileLock.cpp.o from the "
                     "default-preset build tree)")
     ap.add_argument("--budget", default=None,
                     help="budget file (default: fastpath_budget.txt "
@@ -158,22 +190,23 @@ def main():
 
     here = os.path.dirname(os.path.abspath(__file__))
     root = os.path.dirname(os.path.dirname(here))
-    objfile = args.object or default_object(root)
+    objfiles = args.object or default_objects(root)
     budget_path = args.budget or os.path.join(here, "fastpath_budget.txt")
 
-    if not os.path.exists(objfile):
-        print(f"fastpath_guard: object not found: {objfile}\n"
-              "  build first: cmake --build --preset default",
-              file=sys.stderr)
-        return 2
+    regions = {}
+    for objfile in objfiles:
+        if not os.path.exists(objfile):
+            print(f"fastpath_guard: object not found: {objfile}\n"
+                  "  build first: cmake --build --preset default",
+                  file=sys.stderr)
+            return 2
+        regions.update(parse_disassembly(objfile))
 
-    regions = parse_disassembly(objfile)
-
-    missing = [f"{op}:{p}" for op in OPS for p in POLICIES
-               if f"{op}:{p}" not in regions]
+    missing = [key for key in EXPECTED_KEYS if key not in regions]
     if missing:
         print("fastpath_guard: expected symbols missing from "
-              f"{objfile}: {', '.join(missing)}", file=sys.stderr)
+              f"{', '.join(objfiles)}: {', '.join(missing)}",
+              file=sys.stderr)
         return 1
 
     if args.update_budget:
