@@ -32,6 +32,11 @@
 #                   the shared workload battery, DESIGN.md §14) and stage
 #                   BENCH_matrix.json; BENCH_MATRIX_ARGS overrides the
 #                   default (full-size) profile, e.g. --smoke.
+#   BENCH_TXN=1     also run bench_txn (every registered protocol x every
+#                   conflict policy through the transactional scenario
+#                   engine, DESIGN.md §15) and stage BENCH_txn.json;
+#                   BENCH_TXN_ARGS overrides the default (full-size)
+#                   profile, e.g. --smoke.
 #
 # Every suite must have been built with NDEBUG (the bench preset): the
 # merge refuses to publish a document whose thinlocks_build_type context
@@ -245,6 +250,56 @@ PYEOF
     exit 1
   fi
   STAGED+=(BENCH_matrix.json)
+fi
+
+# Optional transactional-scenario artifact: every registered protocol x
+# every conflict policy (NoWait / WaitDie / Validated) through the txn
+# engine (bench_txn self-checks the grid, the per-cell accounting
+# identity, and the serializability spot-checks; a failed cell publishes
+# nothing).  Same staged all-or-nothing discipline and schema gate.
+if [ "${BENCH_TXN:-0}" != 0 ]; then
+  if [ ! -x "$BUILD_DIR/bench/bench_txn" ]; then
+    echo "error: BENCH_TXN=1 but $BUILD_DIR/bench/bench_txn is not built." >&2
+    exit 1
+  fi
+  echo "== bench_txn" >&2
+  # shellcheck disable=SC2086  # word-splitting of the args is the point
+  if ! "$BUILD_DIR/bench/bench_txn" ${BENCH_TXN_ARGS:-} \
+       --out "$TMP/staged/BENCH_txn.json" >&2; then
+    echo "error: bench_txn failed; aborting without touching the" \
+         "committed BENCH_*.json files." >&2
+    exit 1
+  fi
+  if ! python3 - "$TMP/staged/BENCH_txn.json" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("schema") == "thinlocks-bench-txn-v1", doc.get("schema")
+assert doc.get("build_type") == "release", (
+    f"build_type is {doc.get('build_type')!r}, not 'release' — rebuild "
+    "with the bench preset (cmake --preset bench) before publishing")
+protocols, policies = doc["protocols"], doc["policies"]
+assert len(protocols) >= 5, protocols
+assert len(policies) == 3, policies
+rows = doc["rows"]
+assert len(rows) == len(protocols) * len(policies), len(rows)
+for row in rows:
+    assert row["protocol"] in protocols and row["policy"] in policies
+    assert row["protocol_impl"] and row["started"] > 0
+    assert row["started"] == row["committed"] + row["aborted"], row
+    assert row["committed"] > 0 and row["commits_per_sec"] > 0, row
+    assert row["consistency_violations"] == 0, row
+    assert "abort_p99_ns" in row and "commit_p99_ns" in row, row
+print(f"BENCH_txn.json ok ({len(protocols)} protocols x "
+      f"{len(policies)} policies)")
+PYEOF
+  then
+    echo "error: BENCH_txn.json failed schema validation; aborting" \
+         "without touching the committed BENCH_*.json files." >&2
+    exit 1
+  fi
+  STAGED+=(BENCH_txn.json)
 fi
 
 # Everything succeeded: publish the staged files together.

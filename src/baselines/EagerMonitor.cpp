@@ -53,9 +53,9 @@ TimedLockStatus EagerMonitor::tryLockFor(Object *Obj,
       resolve(Obj, /*CreateIfMissing=*/true)->lockIfLiveFor(Thread,
                                                             TimeoutNanos);
   // Eager monitors are permanent (never retired) and this baseline has no
-  // waits-for graph, so only two outcomes exist.
-  return Result == FatLock::TimedResult::Acquired ? TimedLockStatus::Acquired
-                                                  : TimedLockStatus::TimedOut;
+  // waits-for graph, so any failure degrades to TimedOut (see
+  // degradeToTimedOut in core/LockProtocol.h).
+  return degradeToTimedOut(Result == FatLock::TimedResult::Acquired);
 }
 
 bool EagerMonitor::holdsLock(Object *Obj,

@@ -189,9 +189,9 @@ TimedLockStatus HotLocks::tryLockFor(Object *Obj, const ThreadContext &Thread,
   if (Entry)
     unpin(Entry);
   // Hot slots and pinned cache entries are never retired mid-operation,
-  // and this baseline has no waits-for graph, so only two outcomes exist.
-  return Result == FatLock::TimedResult::Acquired ? TimedLockStatus::Acquired
-                                                  : TimedLockStatus::TimedOut;
+  // and this baseline has no waits-for graph, so any failure degrades to
+  // TimedOut (see degradeToTimedOut in core/LockProtocol.h).
+  return degradeToTimedOut(Result == FatLock::TimedResult::Acquired);
 }
 
 bool HotLocks::holdsLock(Object *Obj, const ThreadContext &Thread) const {

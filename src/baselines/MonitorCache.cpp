@@ -121,10 +121,9 @@ TimedLockStatus MonitorCache::tryLockFor(Object *Obj,
                                                             TimeoutNanos);
   unpin(Monitor);
   // A pinned cache monitor is never retired out from under us, so Retired
-  // is unreachable; the baseline has no waits-for graph, so Deadlock is
-  // never reported.
-  return Result == FatLock::TimedResult::Acquired ? TimedLockStatus::Acquired
-                                                  : TimedLockStatus::TimedOut;
+  // is unreachable; no waits-for graph here, so any failure degrades to
+  // TimedOut (see degradeToTimedOut in core/LockProtocol.h).
+  return degradeToTimedOut(Result == FatLock::TimedResult::Acquired);
 }
 
 bool MonitorCache::holdsLock(Object *Obj, const ThreadContext &Thread) const {

@@ -44,6 +44,18 @@ enum class TimedLockStatus : uint8_t {
             ///< baselines and Fissile always degrade to TimedOut.
 };
 
+/// The explicit degrade point for protocols *without* a waits-for
+/// graph: a bounded acquire either succeeded or timed out — such a
+/// protocol has no basis to claim Deadlock, and mis-reporting it would
+/// turn generic consumers' precise-abort paths (the txn engine's
+/// wait-die policy, the harness tryLockFor plumbing) into spurious
+/// aborts.  Every non-thin protocol funnels its tryLockFor result
+/// through here; the conformance suite pins the contract
+/// (NonThinProtocolsNeverReportDeadlock).
+constexpr TimedLockStatus degradeToTimedOut(bool Acquired) {
+  return Acquired ? TimedLockStatus::Acquired : TimedLockStatus::TimedOut;
+}
+
 /// Compile-time interface every synchronization protocol satisfies.
 /// tryLock/tryLockFor are part of the contract: the soak harness's
 /// admission ladder and the deadlock-aware slow paths need bounded

@@ -227,7 +227,7 @@ TimedLockStatus FissileLock::tryLockFor(Object *Obj,
   if (tryLock(Obj, Thread))
     return TimedLockStatus::Acquired;
   if (TimeoutNanos <= 0)
-    return TimedLockStatus::TimedOut;
+    return degradeToTimedOut(false);
 
   // Impatient path: never joins the MCS queue (an abortable MCS node
   // would complicate every handoff); instead spin/park on the TS word
@@ -247,7 +247,7 @@ TimedLockStatus FissileLock::tryLockFor(Object *Obj,
     }
     auto Now = std::chrono::steady_clock::now();
     if (Now >= Deadline)
-      return TimedLockStatus::TimedOut;
+      return degradeToTimedOut(false);
     if (uint64_t ParkNanos = Spin.nextRound()) {
       auto Bound = Now + std::chrono::nanoseconds(ParkNanos);
       Cell->Sleepers.fetch_add(1, std::memory_order_acq_rel);

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 using namespace thinlocks;
@@ -199,6 +200,66 @@ TYPED_TEST(ConformanceTest, TryLockForTimesOutThenAcquires) {
     std::this_thread::yield();
   this->protocol().unlock(Obj, this->Main);
   Contender.join();
+}
+
+TYPED_TEST(ConformanceTest, NonThinProtocolsNeverReportDeadlock) {
+  // The degradeToTimedOut contract (core/LockProtocol.h): a protocol
+  // without a waits-for graph has no basis to claim Deadlock, so a
+  // bounded acquire that fails must report TimedOut — even on a genuine
+  // ABBA deadlock, the hardest schedule to stay honest about.  Only
+  // ThinLock (the one protocol with a cycle detector) may upgrade the
+  // verdict; generic consumers (the txn engine's wait-die policy) treat
+  // Deadlock as a precise abort signal, so a mis-report here would turn
+  // into spurious aborts downstream.
+  Object *A = this->newObject();
+  Object *B = this->newObject();
+  this->protocol().lock(A, this->Main);
+
+  // Phase 0: starting; 1: other holds B; 2: other's attempt returned;
+  // 3: main's attempt returned too — both sides may release.
+  std::atomic<int> Phase{0};
+  std::atomic<TimedLockStatus> OtherStatus{TimedLockStatus::Acquired};
+  std::thread Other([&] {
+    ScopedThreadAttachment Attachment(this->Registry, "abba");
+    this->protocol().lock(B, Attachment.context());
+    Phase.store(1, std::memory_order_release);
+    OtherStatus.store(this->protocol().tryLockFor(A, Attachment.context(),
+                                                  /*TimeoutNanos=*/
+                                                  150'000'000),
+                      std::memory_order_release);
+    Phase.store(2, std::memory_order_release);
+    while (Phase.load(std::memory_order_acquire) != 3)
+      std::this_thread::yield();
+    this->protocol().unlock(B, Attachment.context());
+  });
+
+  while (Phase.load(std::memory_order_acquire) < 1)
+    std::this_thread::yield();
+  // Both holders keep holding until phase 3, so neither bounded attempt
+  // can ever acquire — each must classify its failure.
+  TimedLockStatus Mine =
+      this->protocol().tryLockFor(B, this->Main, /*TimeoutNanos=*/
+                                  150'000'000);
+  while (Phase.load(std::memory_order_acquire) < 2)
+    std::this_thread::yield();
+  TimedLockStatus Theirs = OtherStatus.load(std::memory_order_acquire);
+
+  for (TimedLockStatus Status : {Mine, Theirs}) {
+    ASSERT_NE(Status, TimedLockStatus::Acquired);
+    if constexpr (std::is_same_v<TypeParam, ThinLockManager>) {
+      // The detector may confirm the cycle at either deadline (timing
+      // decides which side sees it); TimedOut is also legal.
+      EXPECT_TRUE(Status == TimedLockStatus::TimedOut ||
+                  Status == TimedLockStatus::Deadlock);
+    } else {
+      EXPECT_EQ(Status, TimedLockStatus::TimedOut)
+          << "a protocol without a waits-for graph reported Deadlock";
+    }
+  }
+
+  Phase.store(3, std::memory_order_release);
+  this->protocol().unlock(A, this->Main);
+  Other.join();
 }
 
 TYPED_TEST(ConformanceTest, UnlockCheckedOnUnownedFails) {

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <vector>
 
 using namespace thinlocks;
 using namespace thinlocks::load;
@@ -71,6 +72,55 @@ TEST(Zipf, SingleObjectUniverse) {
   SplitMix64 Rng(9);
   for (int I = 0; I < 100; ++I)
     EXPECT_EQ(Sampler.sample(Rng), 0u);
+}
+
+// Degenerate-parameter regressions (PR-10 satellite).  theta == 0 must
+// be a *two-sided* uniform fallback: no rank starved AND no rank
+// favored.  ThetaZeroIsUniformish above only pins the starvation side,
+// which would still pass if a CDF bug concentrated mass on rank 0.
+TEST(Zipf, ThetaZeroIsUniformBothSides) {
+  const size_t N = 8;
+  ZipfSampler Sampler(N, 0.0);
+  SplitMix64 Rng(11);
+  std::map<size_t, uint64_t> Counts;
+  const int Draws = 80000;
+  for (int I = 0; I < Draws; ++I)
+    ++Counts[Sampler.sample(Rng)];
+  const uint64_t Expected = static_cast<uint64_t>(Draws) / N;
+  for (size_t I = 0; I < N; ++I) {
+    // +-10% of the uniform expectation: loose enough for PRNG noise at
+    // 10k draws/rank, tight enough to reject any Zipfian concentration
+    // (rank 0 under theta=0.8 would collect ~2.9x the uniform share).
+    EXPECT_GT(Counts[I], Expected * 9 / 10) << "rank " << I << " starved";
+    EXPECT_LT(Counts[I], Expected * 11 / 10) << "rank " << I << " favored";
+  }
+}
+
+// Reseeding with the same seed must reproduce the exact draw sequence
+// in the degenerate corners too — the soak harness's reproducible
+// schedule contract does not exempt theta == 0 or N == 1.
+TEST(Zipf, DegenerateParamsDeterministicUnderReseeding) {
+  ZipfSampler Uniform(16, 0.0);
+  std::vector<size_t> First;
+  {
+    SplitMix64 Rng(77);
+    for (int I = 0; I < 500; ++I)
+      First.push_back(Uniform.sample(Rng));
+  }
+  {
+    SplitMix64 Rng(77); // Reseeded: identical stream expected.
+    for (int I = 0; I < 500; ++I)
+      EXPECT_EQ(Uniform.sample(Rng), First[static_cast<size_t>(I)]) << I;
+  }
+
+  // N == 1 composed with theta == 0: the CDF is the single entry 1.0;
+  // every draw must land on rank 0 regardless of seed.
+  ZipfSampler Point(1, 0.0);
+  for (uint64_t Seed : {1ull, 42ull, 0xdeadbeefull}) {
+    SplitMix64 Rng(Seed);
+    for (int I = 0; I < 100; ++I)
+      EXPECT_EQ(Point.sample(Rng), 0u);
+  }
 }
 
 //===----------------------------------------------------------------------===//

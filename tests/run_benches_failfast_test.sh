@@ -221,6 +221,54 @@ else
   fail "scenario G: a BENCH_*.json was clobbered by an off-schema matrix"
 fi
 
+#--- Scenario H: BENCH_TXN failure modes -> hard error, no publish -------#
+# H1: BENCH_TXN=1 without bench_txn built must be a hard error (the
+# opt-in is explicit, so a missing binary is a broken invocation, not a
+# skip).  H2: a stub bench_txn emitting a syntactically valid but
+# off-schema document (grid incomplete, accounting identity broken) must
+# be refused by the schema gate with the sentinels intact.
+OUT_H="$SANDBOX/out-h"
+seed_sentinels "$OUT_H"
+if BENCH_OUT_DIR="$OUT_H" BENCH_TXN=1 bash "$RUN_BENCHES" "$BUILD" \
+     >/dev/null 2>&1; then
+  fail "scenario H: missing bench_txn did not fail BENCH_TXN run"
+else
+  pass "scenario H: missing bench_txn fails BENCH_TXN run"
+fi
+if sentinels_untouched "$OUT_H"; then
+  pass "scenario H: committed BENCH_*.json untouched"
+else
+  fail "scenario H: BENCH_*.json clobbered despite txn failure"
+fi
+
+OUT_H2="$SANDBOX/out-h2"
+seed_sentinels "$OUT_H2"
+cat >"$BUILD/bench/bench_txn" <<'STUB'
+#!/usr/bin/env bash
+Out=""
+Prev=""
+for Arg in "$@"; do
+  [ "$Prev" = "--out" ] && Out="$Arg"
+  Prev="$Arg"
+done
+printf '%s\n' '{"schema": "thinlocks-bench-txn-v1", "build_type": "release", "protocols": ["A", "B", "C", "D", "E"], "policies": ["NoWait", "WaitDie", "Validated"], "rows": [{"protocol": "A", "protocol_impl": "A", "policy": "NoWait", "started": 10, "committed": 4, "aborted": 5, "commits_per_sec": 1.0, "consistency_violations": 0, "abort_p99_ns": 1, "commit_p99_ns": 1}]}' > "$Out"
+STUB
+chmod +x "$BUILD/bench/bench_txn"
+BENCH_OUT_DIR="$OUT_H2" BENCH_TXN=1 bash "$RUN_BENCHES" "$BUILD" \
+  >/dev/null 2>&1
+Status=$?
+rm -f "$BUILD/bench/bench_txn"
+if [ "$Status" -eq 0 ]; then
+  fail "scenario H: off-schema txn grid did not fail the script"
+else
+  pass "scenario H: off-schema txn grid refused (status $Status)"
+fi
+if sentinels_untouched "$OUT_H2"; then
+  pass "scenario H: committed BENCH_*.json untouched after refusal"
+else
+  fail "scenario H: a BENCH_*.json was clobbered by an off-schema txn grid"
+fi
+
 if [ "$Failures" -ne 0 ]; then
   echo "$Failures scenario check(s) failed" >&2
   exit 1

@@ -287,6 +287,52 @@ TEST(LatencyHistogram, MergeWithEmptyIsIdentityBothWays) {
   EXPECT_EQ(Empty.max(), 500u);
 }
 
+// Saturated-histogram merge regression (PR-10 satellite).  When the
+// merged-in histogram carries saturated samples, the destination must
+// preserve the *true* recorded max (not a bucket bound — saturation
+// bucket bounds are meaningless), accumulate the saturation count, and
+// keep the min from whichever side holds it.
+TEST(LatencyHistogram, MergePreservesSaturationTruth) {
+  const uint64_t Huge = LatencyHistogram::MaxTrackable + 12345;
+
+  LatencyHistogram A;
+  A.record(7);
+  A.record(Huge); // A is saturated and owns the true max.
+  LatencyHistogram B;
+  B.record(100);
+  B.record(LatencyHistogram::MaxTrackable + 99); // Saturated, smaller max.
+
+  A.merge(B);
+  EXPECT_EQ(A.count(), 4u);
+  EXPECT_EQ(A.saturatedCount(), 2u) << "saturation count lost in merge";
+  EXPECT_EQ(A.min(), 7u);
+  EXPECT_EQ(A.max(), Huge) << "true max clobbered by merged-in bound";
+  // The tail quantile lands in the saturation bucket; it must report
+  // the surviving true max, exactly as the single-histogram
+  // SaturationReportsTrueMax contract requires.
+  EXPECT_EQ(A.quantile(1.0), Huge);
+  EXPECT_EQ(A.quantile(0.999), Huge);
+
+  // Merging saturated data into an *empty* histogram must adopt the
+  // source's max/min wholesale (the Total == 0 branch).
+  LatencyHistogram Empty;
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), 4u);
+  EXPECT_EQ(Empty.saturatedCount(), 2u);
+  EXPECT_EQ(Empty.min(), 7u);
+  EXPECT_EQ(Empty.max(), Huge);
+  EXPECT_EQ(Empty.quantile(1.0), Huge);
+
+  // And the reverse direction: the side with the *larger* true max
+  // merged into the side with the smaller one must win.
+  LatencyHistogram C;
+  C.record(LatencyHistogram::MaxTrackable + 1);
+  C.merge(A);
+  EXPECT_EQ(C.saturatedCount(), 3u);
+  EXPECT_EQ(C.max(), Huge);
+  EXPECT_EQ(C.quantile(1.0), Huge);
+}
+
 //===----------------------------------------------------------------------===//
 // StatsCounter
 //===----------------------------------------------------------------------===//
