@@ -101,8 +101,8 @@ std::string renderJson(const std::vector<Cell> &Cells,
   Json += "  \"rows\": [\n";
   for (size_t I = 0; I < Cells.size(); ++I) {
     const Cell &C = Cells[I];
-    char Buf[512];
-    std::snprintf(
+    char Buf[1024];
+    int Len = std::snprintf(
         Buf, sizeof(Buf),
         "    {\"protocol\": \"%s\", \"protocol_impl\": \"%s\", "
         "\"policy\": \"%s\", \"started\": %llu, \"committed\": %llu, "
@@ -111,7 +111,7 @@ std::string renderJson(const std::vector<Cell> &Cells,
         "\"validation\": %llu}, "
         "\"commits_per_sec\": %.1f, \"abort_p99_ns\": %llu, "
         "\"commit_p99_ns\": %llu, \"consistency_violations\": %llu, "
-        "\"elapsed_ns\": %llu}%s\n",
+        "\"attach_failures\": %llu, \"elapsed_ns\": %llu}%s\n",
         C.Protocol.c_str(), C.ProtocolImpl.c_str(), C.Policy.c_str(),
         static_cast<unsigned long long>(C.Stats.Started),
         static_cast<unsigned long long>(C.Stats.Committed),
@@ -124,8 +124,13 @@ std::string renderJson(const std::vector<Cell> &Cells,
         static_cast<unsigned long long>(C.Stats.AbortLatency.quantile(0.99)),
         static_cast<unsigned long long>(C.Stats.CommitLatency.quantile(0.99)),
         static_cast<unsigned long long>(C.Stats.ConsistencyViolations),
+        static_cast<unsigned long long>(C.Stats.AttachFailures),
         static_cast<unsigned long long>(C.ElapsedNanos),
         I + 1 == Cells.size() ? "" : ",");
+    // A truncated row is malformed JSON that would otherwise only fail
+    // later at the schema gate; fail here, loudly.
+    check(Len > 0 && static_cast<size_t>(Len) < sizeof(Buf),
+          "json row truncated (raise the row buffer size)");
     Json += Buf;
   }
   Json += "  ]\n}\n";
@@ -210,6 +215,8 @@ int main(int Argc, char **Argv) {
     check(C.IntegrityOk,
           "version-sum integrity violated (lost or phantom writes)");
     check(C.Stats.LeakedLocks == 0, "aborted transaction leaked a lock");
+    check(C.Stats.AttachFailures == 0,
+          "a worker failed to attach (throughput under-reported)");
   }
 
   std::string Json = renderJson(Cells, Protocols, Policies);

@@ -290,6 +290,7 @@ for row in rows:
     assert row["started"] == row["committed"] + row["aborted"], row
     assert row["committed"] > 0 and row["commits_per_sec"] > 0, row
     assert row["consistency_violations"] == 0, row
+    assert row.get("attach_failures", 0) == 0, row
     assert "abort_p99_ns" in row and "commit_p99_ns" in row, row
 print(f"BENCH_txn.json ok ({len(protocols)} protocols x "
       f"{len(policies)} policies)")

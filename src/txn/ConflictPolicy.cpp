@@ -98,13 +98,74 @@ void drawTxnAccess(const load::ZipfSampler &Popularity, SplitMix64 &Rng,
     Access.Reads.push_back(drawDistinct());
 }
 
+bool occLockWriteSet(const TxnTable &Table, const ThreadContext &Thread,
+                     const std::vector<size_t> &SortedWrites,
+                     std::vector<size_t> &Acquired, uint32_t Spins) {
+  for (size_t Idx : SortedWrites) {
+    bool Locked = false;
+    for (uint32_t Spin = 0; Spin < Spins; ++Spin) {
+      if (Table.Sync->tryLock(Table.Objects[Idx], Thread)) {
+        Locked = true;
+        break;
+      }
+    }
+    if (!Locked) {
+      occAbortWriteSet(Table, Thread, Acquired);
+      return false;
+    }
+    Acquired.push_back(Idx);
+    // Make the commit lock observable (the Silo lock bit): a concurrent
+    // validator that read this object must see the odd mark and abort,
+    // and lock-free seqlock readers retry past it.  We hold the
+    // monitor, so no concurrent writer races this word.
+    uint64_t Version = Table.Versions[Idx].load(std::memory_order_relaxed);
+    Table.Versions[Idx].store(Version | 1, std::memory_order_release);
+  }
+  return true;
+}
+
+void occAbortWriteSet(const TxnTable &Table, const ThreadContext &Thread,
+                      std::vector<size_t> &Acquired) {
+  for (size_t I = Acquired.size(); I-- > 0;) {
+    size_t Idx = Acquired[I];
+    // Restore the pre-window even version before the monitor is
+    // released; nothing was published, so readers see the old snapshot.
+    uint64_t Version = Table.Versions[Idx].load(std::memory_order_relaxed);
+    Table.Versions[Idx].store(Version & ~uint64_t(1),
+                              std::memory_order_release);
+    Table.Sync->unlock(Table.Objects[Idx], Thread);
+  }
+  Acquired.clear();
+}
+
+bool occValidateReadSet(const TxnTable &Table, const std::vector<size_t> &Reads,
+                        const std::vector<uint64_t> &ReadVersions) {
+  // Store-buffering pair with a concurrent committer: our lock marks
+  // are sequenced before this fence, its validation loads after its
+  // own fence — seq_cst fences totally order, so two crossing commit
+  // windows cannot both read the other's pre-mark versions.  Without
+  // this, write skew (both validate, both publish) would be possible
+  // even with the marks in place.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  for (size_t I = 0; I < Reads.size(); ++I) {
+    uint64_t Now = Table.Versions[Reads[I]].load(std::memory_order_acquire);
+    // Snapshots are always even, so `Now != snapshot` catches both a
+    // moved version (conflicting commit) and an odd one (a concurrent
+    // transaction's commit lock).
+    if (Now != ReadVersions[I])
+      return false;
+  }
+  return true;
+}
+
 namespace {
 
 /// Publishes one committed write to \p Idx.  Caller holds the object's
 /// monitor (2PL) or its OCC commit lock — either way no concurrent
 /// writer exists, so plain loads suffice on our own word.  The odd
-/// intermediate marks write-in-progress for lock-free OCC readers;
-/// release ordering makes the final even version carry the value.
+/// intermediate marks write-in-progress for lock-free OCC readers (a
+/// no-op when the OCC commit window already marked it); release
+/// ordering makes the final even version carry the value.
 void applyWrite(const TxnTable &Table, size_t Idx, TxnScratch &Scratch) {
   uint64_t Version = Table.Versions[Idx].load(std::memory_order_relaxed);
   uint64_t Next = ((Version >> 1) + 1) << 1;
@@ -305,34 +366,23 @@ public:
 
     // Commit window: lock the write set only, in ascending index order
     // so concurrent committers cannot deadlock, each lock a short
-    // bounded tryLock spin.
+    // bounded tryLock spin, each locked version marked odd so the
+    // window is observable to concurrent validators.
     Scratch.SortedWrites.assign(Access.Writes.begin(), Access.Writes.end());
     std::sort(Scratch.SortedWrites.begin(), Scratch.SortedWrites.end());
-    for (size_t Idx : Scratch.SortedWrites) {
-      bool Locked = false;
-      for (uint32_t Spin = 0; Spin < Tuning.CommitLockSpins; ++Spin) {
-        if (Table.Sync->tryLock(Table.Objects[Idx], Thread)) {
-          Locked = true;
-          break;
-        }
-      }
-      if (!Locked)
-        return abortTwoPhase(Table, Thread, Scratch, /*StampTs=*/0,
-                             TxnStatus::AbortedBusy);
-      Scratch.Acquired.push_back(Idx);
-    }
+    if (!occLockWriteSet(Table, Thread, Scratch.SortedWrites,
+                         Scratch.Acquired, Tuning.CommitLockSpins))
+      return TxnStatus::AbortedBusy;
 
     holdFor(Tuning.HoldNanos);
 
     // Validation: every read version must still be the snapshot we
     // used (reads and writes are disjoint, so none of these is our own
-    // commit lock; an odd or moved version means a conflicting commit).
-    for (size_t I = 0; I < Access.Reads.size(); ++I) {
-      uint64_t Now =
-          Table.Versions[Access.Reads[I]].load(std::memory_order_acquire);
-      if (Now != Scratch.ReadVersions[I])
-        return abortTwoPhase(Table, Thread, Scratch, /*StampTs=*/0,
-                             TxnStatus::AbortedValidation);
+    // commit lock; an odd or moved version means a conflicting commit
+    // — in flight or published).
+    if (!occValidateReadSet(Table, Access.Reads, Scratch.ReadVersions)) {
+      occAbortWriteSet(Table, Thread, Scratch.Acquired);
+      return TxnStatus::AbortedValidation;
     }
 
     for (size_t Idx : Scratch.SortedWrites)

@@ -31,8 +31,13 @@
 ///  - Validated: OCC in the Silo style.  Reads run without locks
 ///    against per-object version words (LSB = write-in-progress,
 ///    committed versions even); commit locks only the write set (sorted,
-///    tryLock — the "short lock-only commit window"), re-validates that
-///    every read version is unchanged and unlocked, then publishes.
+///    tryLock — the "short lock-only commit window") and *marks each
+///    locked version odd* so the in-flight commit is observable, then
+///    re-validates that every read version is unchanged and unlocked
+///    (the Silo lock-bit check), then publishes.  Without the mark, two
+///    transactions with crossing read/write sets could each lock, each
+///    validate against still-unchanged versions, and both publish — a
+///    write-skew cycle committed as "serializable".
 ///
 /// Every object's Value mirrors its Version at publish time, committed
 /// under the same monitor/version protocol — so `Value == Version`
@@ -164,6 +169,43 @@ inline WaitDieDecision waitDieDecide(uint64_t MyTs, uint64_t HolderTs) {
 void drawTxnAccess(const load::ZipfSampler &Popularity, SplitMix64 &Rng,
                    uint32_t ReadTarget, uint32_t WriteTarget,
                    TxnAccess &Access);
+
+//===----------------------------------------------------------------------===//
+// OCC commit-window primitives (Silo-style).  Free functions so the
+// serializability regression tests can drive the window's two sides
+// against each other deterministically; ValidatedPolicy is the
+// production caller.
+//===----------------------------------------------------------------------===//
+
+/// Locks every index in \p SortedWrites (ascending order, bounded
+/// tryLock spins of \p Spins attempts each) and, under each monitor,
+/// sets the object's version lock mark (the odd LSB) so the in-flight
+/// commit is observable to concurrent validators and seqlock readers.
+/// Acquired indices are appended to \p Acquired.  On any lock failure
+/// the locks taken so far are unmarked and released and the function
+/// \returns false.
+bool occLockWriteSet(const TxnTable &Table, const ThreadContext &Thread,
+                     const std::vector<size_t> &SortedWrites,
+                     std::vector<size_t> &Acquired, uint32_t Spins);
+
+/// Abort side of the commit window: clears each acquired object's
+/// version lock mark (restoring the pre-window even version) and
+/// releases the monitors, newest first.  \p Acquired is left empty.
+void occAbortWriteSet(const TxnTable &Table, const ThreadContext &Thread,
+                      std::vector<size_t> &Acquired);
+
+/// Validates the read set against the snapshot \p ReadVersions: every
+/// version must still be exactly its (even) snapshot value.  A moved
+/// version is a conflicting committed write; an odd version is a
+/// concurrent transaction's commit lock — the Silo lock-bit check that
+/// turns a crossing-write-set schedule (T1 reads X writes Y, T2 reads Y
+/// writes X) into at least one abort instead of a silently committed
+/// write-skew cycle.  Issues a seq_cst fence before the loads so this
+/// thread's own lock marks and these validation loads form a
+/// store-buffering pair with a concurrent committer's: at least one
+/// side must observe the other's marks.
+bool occValidateReadSet(const TxnTable &Table, const std::vector<size_t> &Reads,
+                        const std::vector<uint64_t> &ReadVersions);
 
 /// One conflict strategy.  Implementations are stateless between calls
 /// (all per-attempt state lives in \p Scratch), so a single instance is

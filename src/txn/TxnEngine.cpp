@@ -44,6 +44,7 @@ void TxnStats::merge(const TxnStats &Other) {
   WritesApplied += Other.WritesApplied;
   ConsistencyViolations += Other.ConsistencyViolations;
   LeakedLocks += Other.LeakedLocks;
+  AttachFailures += Other.AttachFailures;
   CommitLatency.merge(Other.CommitLatency);
   AbortLatency.merge(Other.AbortLatency);
 }
@@ -109,8 +110,12 @@ TxnStats TxnEngine::run() {
   for (unsigned W = 0; W < Params.Threads; ++W) {
     Workers.emplace_back([this, &PerWorker, W] {
       ScopedThreadAttachment Attach(Registry, "txn-worker");
-      if (!Attach.context().isValid())
+      if (!Attach.context().isValid()) {
+        // Ran nothing: record the failure so a partially-attached run
+        // is visible instead of silently under-reporting throughput.
+        PerWorker[W].AttachFailures = 1;
         return;
+      }
       PerWorker[W] = runWorker(Attach.context(), W);
     });
   }

@@ -63,6 +63,10 @@ struct TxnStats {
   uint64_t ConsistencyViolations = 0;
   /// Locks still held after a transaction returned (AuditEveryTxn).
   uint64_t LeakedLocks = 0;
+  /// Workers whose registry attachment failed: they ran zero
+  /// transactions, so a non-zero count means the run's throughput is
+  /// silently under-reported.  Benches and tests pin this at zero.
+  uint64_t AttachFailures = 0;
   LatencyHistogram CommitLatency;
   LatencyHistogram AbortLatency;
 

@@ -114,7 +114,9 @@ TEST(TxnPolicyTest, StatsRecordAndMergeKeepTheIdentity) {
   B.record(TxnStatus::AbortedDie, 500);
   B.record(TxnStatus::AbortedDeadlock, 700);
   B.record(TxnStatus::Committed, 900);
+  B.AttachFailures = 1;
   A.merge(B);
+  EXPECT_EQ(A.AttachFailures, 1u);
   EXPECT_EQ(A.Started, 6u);
   EXPECT_EQ(A.Committed, 2u);
   EXPECT_EQ(A.AbortedBusy, 1u);
@@ -336,6 +338,118 @@ TEST_F(TxnEngineTest, TxnWaitDieDeadlockVerdictIsPreciseAbort) {
 
   sync().unlock(A, main()); // Break the cycle; the worker drains.
   Worker.join();
+}
+
+//===----------------------------------------------------------------------===//
+// OCC commit-window observability (the Silo lock-bit check).  Without
+// the version lock mark, a commit-locked object looks untouched to a
+// concurrent validator, and two transactions with crossing read/write
+// sets can both validate and both publish — a write-skew cycle
+// committed as "serializable".
+//===----------------------------------------------------------------------===//
+
+TEST_F(TxnEngineTest, TxnOccCommitLockMarksVersionsAndAbortRestoresThem) {
+  TxnParams Params;
+  Params.HeapObjects = 8;
+  TxnEngine Engine(sync(), TheHeap, Registry, ConflictPolicyKind::Validated,
+                   Params);
+  const TxnTable &Table = Engine.table();
+
+  const std::vector<size_t> Writes = {1, 3};
+  std::vector<size_t> Acquired;
+  ASSERT_TRUE(occLockWriteSet(Table, main(), Writes, Acquired, /*Spins=*/4));
+  ASSERT_EQ(Acquired.size(), 2u);
+  for (size_t Idx : Writes) {
+    EXPECT_TRUE(sync().holdsLock(Table.Objects[Idx], main()));
+    EXPECT_EQ(Table.Versions[Idx].load() & 1, 1u)
+        << "commit lock not observable in the version word";
+  }
+
+  // A validator that snapshotted object 1 before this window opened
+  // must now fail, even though the committed version has not moved.
+  const std::vector<size_t> Reads = {1};
+  const std::vector<uint64_t> Snapshot = {0}; // Pre-window even version.
+  EXPECT_FALSE(occValidateReadSet(Table, Reads, Snapshot))
+      << "validation cannot see the in-flight commit window";
+
+  occAbortWriteSet(Table, main(), Acquired);
+  EXPECT_TRUE(Acquired.empty());
+  for (size_t Idx : Writes) {
+    EXPECT_FALSE(sync().holdsLock(Table.Objects[Idx], main()));
+    EXPECT_EQ(Table.Versions[Idx].load(), 0u)
+        << "abort must restore the pre-window version";
+  }
+  // With the window gone the old snapshot validates again, and no
+  // write was published.
+  EXPECT_TRUE(occValidateReadSet(Table, Reads, Snapshot));
+  EXPECT_EQ(Engine.versionSum(), 0u);
+}
+
+TEST_F(TxnEngineTest, TxnOccCrossingCommitWindowsCannotBothCommit) {
+  // The write-skew schedule, made deterministic: T1 reads X writes Y,
+  // T2 reads Y writes X, both having snapshotted the initial versions
+  // before either commit window opened.  Barrier A holds both inside
+  // their windows before either validates; barrier B holds both
+  // verdicts until both validations ran, so neither side's
+  // publish/restore can rescue the other.  Serializability demands at
+  // most one side commit; pre-fix (no lock marks) both validations
+  // passed against the still-unchanged versions and both published.
+  TxnParams Params;
+  Params.HeapObjects = 8;
+  TxnEngine Engine(sync(), TheHeap, Registry, ConflictPolicyKind::Validated,
+                   Params);
+  const TxnTable &Table = Engine.table();
+  constexpr size_t X = 0, Y = 1;
+
+  std::atomic<unsigned> PhaseA{0}, PhaseB{0};
+  auto Await = [](std::atomic<unsigned> &Phase) {
+    Phase.fetch_add(1, std::memory_order_acq_rel);
+    while (Phase.load(std::memory_order_acquire) < 2)
+      std::this_thread::yield();
+  };
+
+  bool Committed[2] = {false, false};
+  auto RunSide = [&](size_t ReadIdx, size_t WriteIdx, bool &DidCommit) {
+    ScopedThreadAttachment Attach(Registry, "occ-skew");
+    const ThreadContext &Me = Attach.context();
+    ASSERT_TRUE(Me.isValid());
+    // The read phase ran before either window opened: both sides hold
+    // the initial (even) version-0 snapshot of their read object.
+    const std::vector<uint64_t> Snapshot = {0};
+    const std::vector<size_t> Writes = {WriteIdx};
+    std::vector<size_t> Acquired;
+    // Disjoint write sets: both locks must succeed.
+    ASSERT_TRUE(occLockWriteSet(Table, Me, Writes, Acquired, /*Spins=*/4));
+    Await(PhaseA); // Both commit windows are now open.
+    bool Ok = occValidateReadSet(Table, {ReadIdx}, Snapshot);
+    Await(PhaseB); // Both validations ran against open windows.
+    if (!Ok) {
+      occAbortWriteSet(Table, Me, Acquired);
+      return;
+    }
+    // Validated: publish (what applyWrite does) and release.
+    uint64_t Next =
+        ((Table.Versions[WriteIdx].load(std::memory_order_relaxed) >> 1) + 1)
+        << 1;
+    Table.Values[WriteIdx].store(Next, std::memory_order_release);
+    Table.Versions[WriteIdx].store(Next, std::memory_order_release);
+    sync().unlock(Table.Objects[WriteIdx], Me);
+    DidCommit = true;
+  };
+
+  std::thread T1([&] { RunSide(X, Y, Committed[0]); });
+  std::thread T2([&] { RunSide(Y, X, Committed[1]); });
+  T1.join();
+  T2.join();
+
+  unsigned Commits = unsigned(Committed[0]) + unsigned(Committed[1]);
+  EXPECT_LE(Commits, 1u)
+      << "write skew: both crossing commit windows committed";
+  // Whatever the outcome, the windows closed cleanly: versions even
+  // and the version sum accounts exactly for the committed writes.
+  EXPECT_EQ(Table.Versions[X].load() & 1, 0u);
+  EXPECT_EQ(Table.Versions[Y].load() & 1, 0u);
+  EXPECT_EQ(Engine.versionSum(), Commits);
 }
 
 //===----------------------------------------------------------------------===//
